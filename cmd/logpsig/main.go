@@ -1,0 +1,65 @@
+// Command logpsig runs the LogP-signature calibration microbenchmark
+// against a machine with chosen deltas and prints the measured
+// characteristics — the tool behind Figure 3 and Table 2.
+//
+// Usage:
+//
+//	logpsig                 # calibrate the baseline Berkeley NOW
+//	logpsig -dO 50 -dL 25   # with 50µs added overhead, 25µs added latency
+//	logpsig -signature      # also print the Figure 3 signature curves
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/calib"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		dO    = flag.Float64("dO", 0, "added overhead per send and receive (µs)")
+		dG    = flag.Float64("dG", 0, "added NIC gap (µs)")
+		dL    = flag.Float64("dL", 0, "added latency (µs)")
+		bwCap = flag.Float64("bw", 0, "bulk bandwidth cap (MB/s, 0 = machine rate)")
+		sig   = flag.Bool("signature", false, "print the LogP signature curves")
+	)
+	flag.Parse()
+
+	params := repro.NOW()
+	params.DeltaO = repro.FromMicros(*dO)
+	params.DeltaG = repro.FromMicros(*dG)
+	params.DeltaL = repro.FromMicros(*dL)
+	params.BulkBandwidthMBs = *bwCap
+
+	m, err := repro.Calibrate(params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "logpsig: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("machine   : %v\n", params)
+	fmt.Printf("o_send    : %6.2f µs\n", m.OSend.Micros())
+	fmt.Printf("o_recv    : %6.2f µs\n", m.ORecv.Micros())
+	fmt.Printf("o (avg)   : %6.2f µs\n", m.O.Micros())
+	fmt.Printf("g         : %6.2f µs\n", m.G.Micros())
+	fmt.Printf("L         : %6.2f µs\n", m.L.Micros())
+	fmt.Printf("round trip: %6.2f µs\n", m.RTT.Micros())
+	fmt.Printf("bulk BW   : %6.1f MB/s\n", m.BulkMBs)
+
+	if *sig {
+		bursts := []int{1, 2, 4, 8, 16, 32, 64}
+		deltas := []sim.Time{0, sim.FromMicros(10)}
+		pts, err := calib.Signature(params, bursts, deltas)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "logpsig: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nburst  Δ(µs)  µs/msg")
+		for _, p := range pts {
+			fmt.Printf("%5d  %5.1f  %6.2f\n", p.Burst, p.Delta.Micros(), p.PerMsg.Micros())
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command repro regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	repro -list
+//	repro -exp fig5b [-procs 32] [-scale 0.00390625] [-apps radix,sample]
+//	repro -exp all -quick -csv -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id (table1..fig8) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		procs   = flag.Int("procs", 32, "cluster size for single-size experiments")
+		scale   = flag.Float64("scale", 1.0/256, "input scale relative to the paper's data sets")
+		seed    = flag.Int64("seed", 1, "random seed")
+		appsCSV = flag.String("apps", "", "comma-separated application subset (default: all ten)")
+		quick   = flag.Bool("quick", false, "trim sweep points for a fast pass")
+		verify  = flag.Bool("verify", false, "run application self-checks during baselines")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outDir  = flag.String("out", "", "write per-experiment files into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range repro.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "repro: -exp <id>|all required (see -list)")
+		os.Exit(2)
+	}
+
+	opts := repro.Options{
+		Procs:  *procs,
+		Scale:  *scale,
+		Seed:   *seed,
+		Quick:  *quick,
+		Verify: *verify,
+	}
+	if *appsCSV != "" {
+		opts.Apps = strings.Split(*appsCSV, ",")
+	}
+
+	var ids []string
+	if *expID == "all" {
+		for _, e := range repro.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*expID, ",")
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := repro.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		body := tab.Text()
+		if *csvOut {
+			body = tab.CSV()
+		}
+		if *outDir != "" {
+			ext := ".txt"
+			if *csvOut {
+				ext = ".csv"
+			}
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, id+ext)
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-8s -> %s (%v)\n", id, path, time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		fmt.Print(body)
+		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

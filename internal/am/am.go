@@ -1,0 +1,563 @@
+// Package am implements the paper's communication substrate: a Generic
+// Active Messages (GAM) style layer whose LogGP characteristics — overhead,
+// gap, latency, and bulk bandwidth — can be varied independently, exactly
+// as §3.2 of the paper describes for the Berkeley NOW's LANai firmware.
+//
+// Model summary (short message from i to j):
+//
+//	host i : stall Δo, write message into NIC        — charge o_send+Δo
+//	NIC i  : inject at max(now, txFreeAt)            — txFreeAt += g+Δg
+//	wire   : presence bit set at inject + L + ΔL     — the delay queue
+//	host j : at its next poll, read message, run the
+//	         handler                                 — charge o_recv+Δo
+//
+// Bulk fragments (≤ FragmentSize bytes) additionally occupy the transmit
+// path for G·size (the DMA rate / bulk-bandwidth knob) and arrive G·size
+// later. The layer enforces a fixed window of outstanding requests per
+// destination: a processor that would exceed it stalls, spin-polling the
+// network, until a reply or firmware-level ack returns a credit — the
+// paper's capacity constraint that is deliberately independent of L.
+//
+// As in GAM, request handlers run at poll points on the receiving
+// processor (never asynchronously), may send at most one reply, and must
+// not block; replies are exempt from the window so the layer is
+// deadlock-free.
+package am
+
+import (
+	"fmt"
+
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+// SmallWireBytes is the wire footprint of a short active message (header +
+// four 64-bit payload words), used for the paper's "small message KB/s"
+// accounting in Table 4.
+const SmallWireBytes = 28
+
+// Observer receives a callback for every message event; attach one with
+// Machine.SetObserver to build traces or custom instrumentation. Both
+// hooks run synchronously on the simulating goroutine and must not call
+// back into the endpoint.
+type Observer interface {
+	// MessageSent fires when a host hands a message to its NIC.
+	MessageSent(src, dst int, class Class, bulk bool, at sim.Time)
+	// MessageHandled fires after a handler ran at the receiver.
+	MessageHandled(src, dst int, class Class, bulk bool, at sim.Time)
+}
+
+// Class tags a message's role for Table 4 accounting.
+type Class uint8
+
+const (
+	// ClassWrite marks data-moving one-way traffic (remote stores).
+	ClassWrite Class = iota
+	// ClassRead marks read requests and their replies.
+	ClassRead
+	// ClassSync marks synchronization traffic (barriers, locks).
+	ClassSync
+)
+
+// Args is the payload of a short active message: four 64-bit words, the
+// GAM short-message format.
+type Args [4]uint64
+
+// Handler processes a short active message on the receiving processor.
+// Handlers run at poll points, may call ep.Reply at most once when handling
+// a request, and must not block, poll, or send new requests.
+type Handler func(ep *Endpoint, tok *Token, args Args)
+
+// BulkHandler processes an arrived bulk fragment. The data slice is owned
+// by the receiver.
+type BulkHandler func(ep *Endpoint, tok *Token, args Args, data []byte)
+
+// Token identifies the message being handled and carries reply plumbing.
+type Token struct {
+	// Src is the sending processor.
+	Src int
+	// Class is the sender's traffic classification.
+	Class Class
+	// IsReply reports whether this message is a reply.
+	IsReply bool
+
+	replied bool
+	dst     int
+}
+
+type msgKind uint8
+
+const (
+	kindRequest msgKind = iota
+	kindReply
+	kindBulk
+	kindBulkReply
+)
+
+type message struct {
+	kind    msgKind
+	src     int
+	dst     int
+	class   Class
+	arrival sim.Time
+	handler Handler
+	bulkH   BulkHandler
+	args    Args
+	data    []byte
+}
+
+// Machine couples a simulation engine with a communication fabric: one
+// Endpoint (host interface + NIC) per processor, a shared LogGP parameter
+// set, and shared instrumentation.
+type Machine struct {
+	eng    *sim.Engine
+	params logp.Params
+	eps    []*Endpoint
+	stats  *Stats
+	obs    Observer
+
+	// cpuFactor scales local computation speed: 2.0 halves every Compute
+	// charge (a processor twice as fast), leaving communication costs
+	// untouched — the §5.5 processor-vs-network tradeoff knob.
+	cpuFactor float64
+}
+
+// NewMachine builds the fabric for every processor of eng.
+func NewMachine(eng *sim.Engine, params logp.Params) (*Machine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{eng: eng, params: params, stats: newStats(eng.P()), cpuFactor: 1}
+	m.eps = make([]*Endpoint, eng.P())
+	for i := range m.eps {
+		m.eps[i] = &Endpoint{
+			m:           m,
+			proc:        eng.Proc(i),
+			outstanding: make([]int, eng.P()),
+		}
+	}
+	return m, nil
+}
+
+// MustMachine is NewMachine for known-good parameters.
+func MustMachine(eng *sim.Engine, params logp.Params) *Machine {
+	m, err := NewMachine(eng, params)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Params returns the machine's LogGP parameter set.
+func (m *Machine) Params() logp.Params { return m.params }
+
+// P returns the processor count.
+func (m *Machine) P() int { return len(m.eps) }
+
+// Endpoint returns processor i's communication endpoint.
+func (m *Machine) Endpoint(i int) *Endpoint { return m.eps[i] }
+
+// Stats returns the machine-wide instrumentation.
+func (m *Machine) Stats() *Stats { return m.stats }
+
+// SetObserver attaches a message-event observer (nil detaches).
+func (m *Machine) SetObserver(obs Observer) { m.obs = obs }
+
+// SetCPUFactor makes every processor's local computation f× faster
+// (Compute charges are divided by f). Communication overheads are NOT
+// scaled: the network interface limits them, which is exactly the
+// asymmetry behind the paper's §5.5 tradeoff observation.
+func (m *Machine) SetCPUFactor(f float64) {
+	if f <= 0 {
+		panic("am: CPU factor must be positive")
+	}
+	m.cpuFactor = f
+}
+
+// CPUFactor reports the current compute-speed factor.
+func (m *Machine) CPUFactor() float64 { return m.cpuFactor }
+
+// Endpoint is one processor's interface to the network. All methods must be
+// called from the owning processor's goroutine (handlers included).
+type Endpoint struct {
+	m    *Machine
+	proc *sim.Proc
+
+	// txFreeAt is the earliest time the NIC transmit context can inject
+	// the next message (the gap / bulk-Gap bottleneck).
+	txFreeAt sim.Time
+	// inbox holds delivered-but-unpolled messages, sorted by arrival time
+	// (deliveries are scheduled events, which execute in time order).
+	// head indexes the first live element; the queue compacts lazily.
+	inbox     []*message
+	inboxHead int
+	// outstanding counts un-acked requests per destination (window).
+	outstanding []int
+	// inHandler guards against illegal nested polling from handlers.
+	inHandler bool
+}
+
+// Proc returns the simulated processor that owns this endpoint.
+func (ep *Endpoint) Proc() *sim.Proc { return ep.proc }
+
+// Machine returns the owning machine.
+func (ep *Endpoint) Machine() *Machine { return ep.m }
+
+// ID returns the owning processor's id.
+func (ep *Endpoint) ID() int { return ep.proc.ID() }
+
+// P returns the machine's processor count.
+func (ep *Endpoint) P() int { return len(ep.m.eps) }
+
+// Now returns the owning processor's virtual clock.
+func (ep *Endpoint) Now() sim.Time { return ep.proc.Clock() }
+
+// Compute charges d of local computation, scaled by the machine's CPU
+// factor.
+func (ep *Endpoint) Compute(d sim.Time) {
+	if f := ep.m.cpuFactor; f != 1 {
+		d = sim.Time(float64(d)/f + 0.5)
+	}
+	ep.proc.Advance(d)
+}
+
+func (ep *Endpoint) params() *logp.Params { return &ep.m.params }
+
+// checkSendContext panics on illegal sends from handler context.
+func (ep *Endpoint) checkRequestContext(op string) {
+	if ep.inHandler {
+		panic(fmt.Sprintf("am: %s called from a message handler on proc %d; handlers may only Reply", op, ep.ID()))
+	}
+}
+
+// Request sends a short active message to dst and returns once the host
+// processor has handed it to the NIC (the message itself is in flight).
+// It stalls first, spin-polling, if the outstanding-request window to dst
+// is full.
+func (ep *Endpoint) Request(dst int, class Class, h Handler, args Args) {
+	ep.checkRequestContext("Request")
+	if h == nil {
+		panic("am: Request with nil handler")
+	}
+	// GAM polls the network on every request: senders service arrivals.
+	ep.Poll()
+	ep.waitWindow(dst)
+	p := ep.params()
+	ep.chargeSend()
+	ep.outstanding[dst]++
+	inject := ep.injectShort()
+	arrive := inject + p.EffLatency()
+	msg := &message{kind: kindRequest, src: ep.ID(), dst: dst, class: class, arrival: arrive, handler: h, args: args}
+	ep.m.stats.countSendAt(ep.ID(), dst, class, false, 0, ep.proc.Clock())
+	ep.m.deliverAt(msg)
+}
+
+// Reply answers the request identified by tok with a short active message.
+// Replies bypass the window (they can always be injected) and are legal
+// from handler context; each request may be answered at most once.
+func (ep *Endpoint) Reply(tok *Token, h Handler, args Args) {
+	if tok == nil || tok.IsReply {
+		panic("am: Reply requires a request token")
+	}
+	if tok.replied {
+		panic("am: duplicate Reply to one request")
+	}
+	if h == nil {
+		panic("am: Reply with nil handler")
+	}
+	tok.replied = true
+	p := ep.params()
+	ep.chargeSend()
+	inject := ep.injectShort()
+	arrive := inject + p.EffLatency()
+	msg := &message{kind: kindReply, src: ep.ID(), dst: tok.Src, class: tok.Class, arrival: arrive, handler: h, args: args}
+	ep.m.stats.countSendAt(ep.ID(), tok.Src, tok.Class, false, 0, ep.proc.Clock())
+	ep.m.deliverAt(msg)
+}
+
+// Store sends one bulk fragment (≤ FragmentSize bytes) to dst, invoking h
+// on the receiver when the DMA completes. The data is copied at send time.
+// Store counts as one bulk message (the paper's "Active Message bulk
+// transfer mechanism"); larger transfers are loops of Stores — see
+// StoreLarge.
+func (ep *Endpoint) Store(dst int, class Class, h BulkHandler, args Args, data []byte) {
+	ep.checkRequestContext("Store")
+	if h == nil {
+		panic("am: Store with nil handler")
+	}
+	p := ep.params()
+	if len(data) > p.FragmentSize {
+		panic(fmt.Sprintf("am: Store of %d bytes exceeds fragment size %d; use StoreLarge", len(data), p.FragmentSize))
+	}
+	// GAM polls the network on every request: senders service arrivals.
+	ep.Poll()
+	ep.waitWindow(dst)
+	ep.chargeSend()
+	ep.outstanding[dst]++
+	inject := ep.injectBulk(len(data))
+	arrive := inject + p.EffLatency() + p.BulkTime(len(data))
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	msg := &message{kind: kindBulk, src: ep.ID(), dst: dst, class: class, arrival: arrive, bulkH: h, args: args, data: buf}
+	ep.m.stats.countSendAt(ep.ID(), dst, class, true, len(data), ep.proc.Clock())
+	ep.m.deliverAt(msg)
+}
+
+// ReplyBulk answers the request identified by tok with one bulk fragment —
+// the mechanism behind bulk gets: a short read request whose reply is a
+// DMA transfer. Like short replies it bypasses the window (the requester's
+// own window already bounds it) and is legal from handler context.
+func (ep *Endpoint) ReplyBulk(tok *Token, h BulkHandler, args Args, data []byte) {
+	if tok == nil || tok.IsReply {
+		panic("am: ReplyBulk requires a request token")
+	}
+	if tok.replied {
+		panic("am: duplicate Reply to one request")
+	}
+	if h == nil {
+		panic("am: ReplyBulk with nil handler")
+	}
+	p := ep.params()
+	if len(data) > p.FragmentSize {
+		panic(fmt.Sprintf("am: ReplyBulk of %d bytes exceeds fragment size %d", len(data), p.FragmentSize))
+	}
+	tok.replied = true
+	ep.chargeSend()
+	inject := ep.injectBulk(len(data))
+	arrive := inject + p.EffLatency() + p.BulkTime(len(data))
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	msg := &message{kind: kindBulkReply, src: ep.ID(), dst: tok.Src, class: tok.Class, arrival: arrive, bulkH: h, args: args, data: buf}
+	ep.m.stats.countSendAt(ep.ID(), tok.Src, tok.Class, true, len(data), ep.proc.Clock())
+	ep.m.deliverAt(msg)
+}
+
+// StoreLarge splits data into fragments and Stores each; h runs on the
+// receiver once per fragment with args[3] overridden to hold the byte
+// offset of the fragment, so receivers can reassemble.
+func (ep *Endpoint) StoreLarge(dst int, class Class, h BulkHandler, args Args, data []byte) {
+	frag := ep.params().FragmentSize
+	for off := 0; off < len(data); off += frag {
+		end := off + frag
+		if end > len(data) {
+			end = len(data)
+		}
+		a := args
+		a[3] = uint64(off)
+		ep.Store(dst, class, h, a, data[off:end])
+	}
+}
+
+// waitWindow stalls, spin-polling, until a request credit to dst is free.
+func (ep *Endpoint) waitWindow(dst int) {
+	w := ep.params().Window
+	if ep.outstanding[dst] < w {
+		return
+	}
+	ep.WaitUntil(func() bool { return ep.outstanding[dst] < w }, "am: window stall")
+}
+
+// chargeSend charges the host-side send overhead (o_send plus the
+// experiment's added overhead).
+func (ep *Endpoint) chargeSend() {
+	ep.proc.Advance(ep.params().EffOSend())
+}
+
+// injectShort reserves the NIC transmit context for a short message and
+// returns the injection time.
+func (ep *Endpoint) injectShort() sim.Time {
+	p := ep.params()
+	inject := ep.proc.Clock()
+	if ep.txFreeAt > inject {
+		inject = ep.txFreeAt
+	}
+	ep.txFreeAt = inject + p.EffGap()
+	return inject
+}
+
+// injectBulk reserves the NIC transmit context for a bulk fragment: after
+// injection the transmit context stalls for the fragment's DMA time
+// (G·size) in addition to the gap — the paper's bulk-Gap knob. The receive
+// context is unaffected (the LANai's dual hardware contexts).
+func (ep *Endpoint) injectBulk(n int) sim.Time {
+	p := ep.params()
+	inject := ep.proc.Clock()
+	if ep.txFreeAt > inject {
+		inject = ep.txFreeAt
+	}
+	ep.txFreeAt = inject + p.EffGap() + p.BulkTime(n)
+	return inject
+}
+
+// deliverAt schedules msg's arrival at its destination endpoint. A reply
+// frees its window credit at arrival: the NIC manages credits, so the host
+// need not have polled yet.
+func (m *Machine) deliverAt(msg *message) {
+	if m.obs != nil {
+		bulk := msg.kind == kindBulk || msg.kind == kindBulkReply
+		m.obs.MessageSent(msg.src, msg.dst, msg.class, bulk, m.eps[msg.src].proc.Clock())
+	}
+	dst := m.eps[msg.dst]
+	m.eng.ScheduleAt(msg.arrival, func() {
+		if msg.kind == kindReply || msg.kind == kindBulkReply {
+			dst.outstanding[msg.src]--
+		}
+		dst.pushInbox(msg)
+		dst.proc.WakeAt(msg.arrival)
+	})
+}
+
+// returnCredit schedules the firmware-level ack that frees one window slot
+// at the requester. It costs the hosts nothing (the LANai handles it) and,
+// like replies, bypasses the transmit gap (acks piggyback).
+func (m *Machine) returnCredit(requester, responder int, at sim.Time) {
+	src := m.eps[requester]
+	arrive := at + m.params.EffLatency()
+	m.eng.ScheduleAt(arrive, func() {
+		src.outstanding[responder]--
+		src.proc.WakeAt(arrive)
+	})
+}
+
+// pushInbox appends an arrived message, compacting consumed space first
+// when it dominates the queue.
+func (ep *Endpoint) pushInbox(msg *message) {
+	if ep.inboxHead > 64 && ep.inboxHead*2 > len(ep.inbox) {
+		n := copy(ep.inbox, ep.inbox[ep.inboxHead:])
+		for i := n; i < len(ep.inbox); i++ {
+			ep.inbox[i] = nil
+		}
+		ep.inbox = ep.inbox[:n]
+		ep.inboxHead = 0
+	}
+	ep.inbox = append(ep.inbox, msg)
+}
+
+// peekInbox returns the oldest unpolled message, or nil.
+func (ep *Endpoint) peekInbox() *message {
+	if ep.inboxHead >= len(ep.inbox) {
+		return nil
+	}
+	return ep.inbox[ep.inboxHead]
+}
+
+func (ep *Endpoint) popInbox() *message {
+	msg := ep.inbox[ep.inboxHead]
+	ep.inbox[ep.inboxHead] = nil
+	ep.inboxHead++
+	if ep.inboxHead == len(ep.inbox) {
+		ep.inbox = ep.inbox[:0]
+		ep.inboxHead = 0
+	}
+	return msg
+}
+
+// Poll processes every message that has arrived by the processor's current
+// time, charging o_recv (plus added overhead) per message and running its
+// handler. Poll is a scheduler checkpoint.
+func (ep *Endpoint) Poll() {
+	if ep.inHandler {
+		panic("am: Poll called from a message handler")
+	}
+	ep.proc.Checkpoint()
+	for {
+		msg := ep.peekInbox()
+		if msg == nil || msg.arrival > ep.proc.Clock() {
+			return
+		}
+		ep.popInbox()
+		ep.process(msg)
+		ep.proc.Checkpoint()
+	}
+}
+
+// process consumes one arrived message on the host.
+func (ep *Endpoint) process(msg *message) {
+	p := ep.params()
+	ep.proc.Advance(p.EffORecv())
+	tok := &Token{Src: msg.src, Class: msg.class, IsReply: msg.kind == kindReply, dst: msg.dst}
+	ep.inHandler = true
+	switch msg.kind {
+	case kindRequest:
+		msg.handler(ep, tok, msg.args)
+		if !tok.replied {
+			// The handler sent no reply; the firmware returns the window
+			// credit on its own.
+			ep.m.returnCredit(msg.src, msg.dst, ep.proc.Clock())
+		}
+	case kindReply:
+		// The window credit was already freed at arrival by the NIC.
+		msg.handler(ep, tok, msg.args)
+	case kindBulk:
+		msg.bulkH(ep, tok, msg.args, msg.data)
+		if !tok.replied {
+			ep.m.returnCredit(msg.src, msg.dst, ep.proc.Clock())
+		}
+	case kindBulkReply:
+		// The window credit was already freed at arrival by the NIC.
+		msg.bulkH(ep, tok, msg.args, msg.data)
+	default:
+		panic("am: unknown message kind")
+	}
+	ep.inHandler = false
+	if ep.m.obs != nil {
+		bulk := msg.kind == kindBulk || msg.kind == kindBulkReply
+		ep.m.obs.MessageHandled(msg.src, msg.dst, msg.class, bulk, ep.proc.Clock())
+	}
+}
+
+// TotalOutstanding reports the number of un-acked requests across all
+// destinations; zero means every store this processor issued has been
+// applied at its destination.
+func (ep *Endpoint) TotalOutstanding() int {
+	total := 0
+	for _, n := range ep.outstanding {
+		total += n
+	}
+	return total
+}
+
+// pollOne processes at most one due message, reporting whether it did.
+func (ep *Endpoint) pollOne() bool {
+	msg := ep.peekInbox()
+	if msg == nil || msg.arrival > ep.proc.Clock() {
+		return false
+	}
+	ep.popInbox()
+	ep.process(msg)
+	return true
+}
+
+// WaitUntil spin-polls the network until cond holds. This is how a blocked
+// processor behaves on the real machine: while waiting it keeps servicing
+// incoming messages (paying o_recv for each), re-checking the condition
+// between handler invocations — one message at a time, so a saturated
+// inbox cannot postpone a condition that is already true. The reason
+// string appears in deadlock diagnostics.
+func (ep *Endpoint) WaitUntil(cond func() bool, reason string) {
+	if ep.inHandler {
+		panic("am: WaitUntil called from a message handler")
+	}
+	for {
+		ep.proc.Checkpoint()
+		if cond() {
+			return
+		}
+		if ep.pollOne() {
+			continue
+		}
+		if next := ep.peekInbox(); next != nil {
+			// Something is already in flight to us; spin forward to it.
+			ep.proc.AdvanceTo(next.arrival)
+			continue
+		}
+		ep.proc.Park(reason)
+	}
+}
+
+// PendingArrivals reports how many delivered-but-unpolled messages wait in
+// the inbox (diagnostics and tests).
+func (ep *Endpoint) PendingArrivals() int { return len(ep.inbox) - ep.inboxHead }
+
+// Outstanding reports the in-flight request count toward dst (tests).
+func (ep *Endpoint) Outstanding(dst int) int { return ep.outstanding[dst] }

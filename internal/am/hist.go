@@ -1,0 +1,150 @@
+package am
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Histogram is a log₂-bucketed histogram of time intervals, used to
+// characterize inter-send spacing. The paper's §5.2 deduces from the
+// linear gap response that "communication tends to be very bursty, rather
+// than spaced at even intervals"; this instrumentation lets the claim be
+// checked directly per application.
+type Histogram struct {
+	// buckets[i] counts intervals in [2^i, 2^(i+1)) nanoseconds; bucket 0
+	// also holds zero-length intervals.
+	buckets [48]int64
+	count   int64
+	sum     sim.Time
+	max     sim.Time
+}
+
+// Add records one interval.
+func (h *Histogram) Add(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	idx := 0
+	if d > 0 {
+		idx = int(math.Ilogb(float64(d)))
+		if idx >= len(h.buckets) {
+			idx = len(h.buckets) - 1
+		}
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports the number of recorded intervals.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean reports the average interval.
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Max reports the largest interval.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// FractionBelow reports the fraction of intervals strictly shorter than
+// the threshold (conservatively, by whole buckets: a bucket counts as
+// below only if its entire range is).
+func (h *Histogram) FractionBelow(threshold sim.Time) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	var below int64
+	for i, c := range h.buckets {
+		hi := sim.Time(1) << uint(i+1) // exclusive bucket upper bound
+		if i == 0 {
+			hi = 2
+		}
+		if hi <= threshold {
+			below += c
+		}
+	}
+	return float64(below) / float64(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile interval (the upper
+// edge of the bucket where the quantile falls).
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			return sim.Time(1) << uint(i+1)
+		}
+	}
+	return h.max
+}
+
+// String renders the non-empty buckets.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v", h.count, h.Mean())
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := sim.Time(1) << uint(i)
+		if i == 0 {
+			lo = 0
+		}
+		fmt.Fprintf(&b, " [%v:%d]", lo, c)
+	}
+	return b.String()
+}
+
+// recordSendInterval feeds the per-processor send-interval histogram.
+func (s *Stats) recordSendInterval(src int, now sim.Time) {
+	if s.lastSend[src] >= 0 {
+		s.SendIntervals[src].Add(now - sim.Time(s.lastSend[src]))
+	}
+	s.lastSend[src] = int64(now)
+}
+
+// BurstFraction reports, across all processors, the fraction of message
+// sends issued within `within` of the previous send — the paper's
+// burstiness: under the burst model this is ≈1 for the heavy
+// communicators.
+func (s *Stats) BurstFraction(within sim.Time) float64 {
+	var total, burst float64
+	for i := range s.SendIntervals {
+		c := float64(s.SendIntervals[i].Count())
+		total += c
+		burst += c * s.SendIntervals[i].FractionBelow(within)
+	}
+	if total == 0 {
+		return 0
+	}
+	return burst / total
+}
+
+// MeanSendInterval averages the per-send spacing over all processors.
+func (s *Stats) MeanSendInterval() sim.Time {
+	var sum sim.Time
+	var n int64
+	for i := range s.SendIntervals {
+		sum += s.SendIntervals[i].sum
+		n += s.SendIntervals[i].count
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / sim.Time(n)
+}

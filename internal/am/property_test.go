@@ -1,0 +1,201 @@
+package am
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+// TestConservationProperty: under random traffic, every request sent is
+// eventually handled exactly once, no matter the machine parameters.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64, dO, dG, dL uint8, procsRaw uint8) bool {
+		procs := int(procsRaw)%6 + 2
+		params := logp.NOW()
+		params.DeltaO = sim.FromMicros(float64(dO % 50))
+		params.DeltaG = sim.FromMicros(float64(dG % 50))
+		params.DeltaL = sim.FromMicros(float64(dL % 50))
+		eng := sim.New(sim.Config{Procs: procs, Seed: seed})
+		m := MustMachine(eng, params)
+
+		sent := 0
+		handled := 0
+		doneFrom := make([]int, procs)
+		err := eng.Run(func(p *sim.Proc) {
+			ep := m.Endpoint(p.ID())
+			rng := p.Rand()
+			n := rng.Intn(40) + 1
+			for i := 0; i < n; i++ {
+				dst := (p.ID() + 1 + rng.Intn(procs-1)) % procs
+				sent++
+				ep.Request(dst, ClassWrite, func(*Endpoint, *Token, Args) { handled++ }, Args{})
+			}
+			me := p.ID()
+			for d := 0; d < procs; d++ {
+				if d != me {
+					ep.Request(d, ClassSync, func(ep *Endpoint, tok *Token, a Args) {
+						doneFrom[ep.ID()]++
+					}, Args{})
+				}
+			}
+			ep.WaitUntil(func() bool { return doneFrom[me] == procs-1 }, "peers")
+		})
+		return err == nil && handled == sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPairwiseFIFO: messages between one (src, dst) pair are handled in
+// send order — the ordering guarantee the applications' flag protocols
+// (radix offsets, radb pipeline) rely on.
+func TestPairwiseFIFO(t *testing.T) {
+	for _, dG := range []float64{0, 30} {
+		params := logp.NOW()
+		params.DeltaG = sim.FromMicros(dG)
+		eng := sim.New(sim.Config{Procs: 2})
+		m := MustMachine(eng, params)
+		var order []uint64
+		const n = 50
+		err := eng.RunEach([]func(*sim.Proc){
+			func(p *sim.Proc) {
+				ep := m.Endpoint(0)
+				for i := 0; i < n; i++ {
+					seq := uint64(i)
+					ep.Request(1, ClassWrite, func(ep *Endpoint, tok *Token, a Args) {
+						order = append(order, a[0])
+					}, Args{seq})
+					if i%7 == 3 {
+						ep.Compute(sim.FromMicros(float64(i % 13)))
+					}
+				}
+				ep.WaitUntil(func() bool { return len(order) == n }, "drain")
+			},
+			func(p *sim.Proc) {
+				m.Endpoint(1).WaitUntil(func() bool { return len(order) == n }, "sink")
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range order {
+			if v != uint64(i) {
+				t.Fatalf("dG=%v: message %d handled out of order (seq %d)", dG, i, v)
+			}
+		}
+	}
+}
+
+// TestBulkThenShortOrdering: a short flag message issued after a bulk
+// fragment to the same destination must be handled after it (the
+// put-then-flag idiom).
+func TestBulkThenShortOrdering(t *testing.T) {
+	params := logp.NOW()
+	eng := sim.New(sim.Config{Procs: 2})
+	m := MustMachine(eng, params)
+	var events []string
+	err := eng.RunEach([]func(*sim.Proc){
+		func(p *sim.Proc) {
+			ep := m.Endpoint(0)
+			ep.Store(1, ClassWrite, func(ep *Endpoint, tok *Token, a Args, d []byte) {
+				events = append(events, "bulk")
+			}, Args{}, make([]byte, 4096))
+			ep.Request(1, ClassWrite, func(ep *Endpoint, tok *Token, a Args) {
+				events = append(events, "flag")
+			}, Args{})
+			ep.WaitUntil(func() bool { return len(events) == 2 }, "drain")
+		},
+		func(p *sim.Proc) {
+			m.Endpoint(1).WaitUntil(func() bool { return len(events) == 2 }, "sink")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0] != "bulk" || events[1] != "flag" {
+		t.Errorf("events = %v, want [bulk flag]", events)
+	}
+}
+
+// TestWindowInvariant: outstanding requests per destination never exceed
+// the configured window, even under heavy load.
+func TestWindowInvariant(t *testing.T) {
+	params := logp.NOW()
+	params.Window = 4
+	params.DeltaL = sim.FromMicros(200)
+	eng := sim.New(sim.Config{Procs: 2})
+	m := MustMachine(eng, params)
+	seen := 0
+	const n = 40
+	maxOut := 0
+	err := eng.RunEach([]func(*sim.Proc){
+		func(p *sim.Proc) {
+			ep := m.Endpoint(0)
+			for i := 0; i < n; i++ {
+				ep.Request(1, ClassWrite, func(*Endpoint, *Token, Args) { seen++ }, Args{})
+				if out := ep.Outstanding(1); out > maxOut {
+					maxOut = out
+				}
+			}
+			ep.WaitUntil(func() bool { return seen == n }, "drain")
+		},
+		func(p *sim.Proc) {
+			m.Endpoint(1).WaitUntil(func() bool { return seen == n }, "sink")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxOut > 4 {
+		t.Errorf("outstanding reached %d, window is 4", maxOut)
+	}
+}
+
+// TestMatrixSymmetryProperty: the stats matrix row sums equal the
+// per-proc send counters.
+func TestMatrixConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		procs := 4
+		eng := sim.New(sim.Config{Procs: procs, Seed: seed})
+		m := MustMachine(eng, logp.NOW())
+		total := 0
+		doneFrom := make([]int, procs)
+		err := eng.Run(func(p *sim.Proc) {
+			ep := m.Endpoint(p.ID())
+			rng := p.Rand()
+			for i := 0; i < rng.Intn(30); i++ {
+				dst := (p.ID() + 1 + rng.Intn(procs-1)) % procs
+				ep.Request(dst, ClassWrite, func(*Endpoint, *Token, Args) { total++ }, Args{})
+			}
+			me := p.ID()
+			for d := 0; d < procs; d++ {
+				if d != me {
+					ep.Request(d, ClassSync, func(ep *Endpoint, tok *Token, a Args) {
+						doneFrom[ep.ID()]++
+					}, Args{})
+				}
+			}
+			ep.WaitUntil(func() bool { return doneFrom[me] == procs-1 }, "peers")
+		})
+		if err != nil {
+			return false
+		}
+		s := m.Stats()
+		for i := 0; i < procs; i++ {
+			var rowSum int64
+			for j := 0; j < procs; j++ {
+				rowSum += s.Matrix[i][j]
+			}
+			if rowSum != s.SentPerProc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package apps defines the benchmark-suite contract: each of the paper's
+// ten applications implements App, runs its real algorithm on simulated
+// processors (so answers can be verified), charges calibrated compute
+// costs, and communicates only through the splitc / am layers.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/am"
+	"repro/internal/logp"
+	"repro/internal/sim"
+	"repro/internal/splitc"
+)
+
+// Config controls an application run.
+type Config struct {
+	// Procs is the processor count (the paper uses 16 and 32).
+	Procs int
+	// Scale sizes the input relative to the paper's data set (Table 3).
+	// 1.0 reproduces the paper's sizes; the default harness scale is
+	// 1/64, which keeps a full sweep tractable in a simulator while
+	// preserving per-processor communication structure.
+	Scale float64
+	// Params is the machine's LogGP parameterization.
+	Params logp.Params
+	// Seed makes input generation and scheduling deterministic.
+	Seed int64
+	// Verify enables the application's self-check against a serial
+	// reference (sorted order, conserved checksums, field values, …).
+	Verify bool
+	// TimeLimit bounds virtual time; livelocked runs (Barnes at high
+	// overhead) fail with sim.ErrTimeLimit instead of hanging.
+	TimeLimit sim.Time
+	// CPUSpeedup, when nonzero, makes local computation this many times
+	// faster without touching communication costs (§5.5's tradeoff).
+	CPUSpeedup float64
+	// Observer, when non-nil, receives every message event (tracing).
+	Observer am.Observer
+}
+
+// DefaultScale is the harness-wide default input scale.
+const DefaultScale = 1.0 / 64
+
+// Norm fills in defaults.
+func (c Config) Norm() Config {
+	if c.Procs == 0 {
+		c.Procs = 32
+	}
+	if c.Scale == 0 {
+		c.Scale = DefaultScale
+	}
+	if c.Params == (logp.Params{}) {
+		c.Params = logp.NOW()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result reports one application run.
+type Result struct {
+	App     string
+	Procs   int
+	Elapsed sim.Time
+	// Summary is the Table 4 characterization of the run.
+	Summary am.Summary
+	// Stats is the raw instrumentation (Figure 4 matrix and friends).
+	Stats *am.Stats
+	// Verified is true when the self-check ran and passed.
+	Verified bool
+	// Extra carries app-specific measurements (failed lock attempts, …).
+	Extra map[string]float64
+}
+
+// App is one member of the benchmark suite.
+type App interface {
+	// Name is the short identifier used by the harness (for example
+	// "radix" or "em3d-read").
+	Name() string
+	// PaperName is the label used in the paper's tables.
+	PaperName() string
+	// Description is the one-line Table 3 description.
+	Description() string
+	// InputDesc renders the effective input set for a config.
+	InputDesc(cfg Config) string
+	// Run executes the application and returns measurements. It must be
+	// deterministic for a fixed config.
+	Run(cfg Config) (Result, error)
+}
+
+// NewWorld builds the simulation world for a config.
+func NewWorld(cfg Config) (*splitc.World, error) {
+	w, err := splitc.NewWorldLimit(cfg.Procs, cfg.Params, cfg.Seed, cfg.TimeLimit)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CPUSpeedup > 0 {
+		w.Machine().SetCPUFactor(cfg.CPUSpeedup)
+	}
+	if cfg.Observer != nil {
+		w.Machine().SetObserver(cfg.Observer)
+	}
+	return w, nil
+}
+
+// Finish assembles a Result from a completed world.
+func Finish(app App, cfg Config, w *splitc.World, verified bool) Result {
+	return Result{
+		App:      app.Name(),
+		Procs:    cfg.Procs,
+		Elapsed:  w.Elapsed(),
+		Summary:  w.Stats().Summarize(w.Elapsed()),
+		Stats:    w.Stats(),
+		Verified: verified,
+		Extra:    map[string]float64{},
+	}
+}
+
+// ScaleInt scales a paper-sized integer quantity, keeping at least min.
+func ScaleInt(paper int, scale float64, min int) int {
+	v := int(float64(paper)*scale + 0.5)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// BlockOwner maps a global index to its owner under a block distribution
+// of n items over p processors (owner of block ⌈n/p⌉·i .. ).
+func BlockOwner(idx, n, p int) int {
+	per := (n + p - 1) / p
+	return idx / per
+}
+
+// BlockRange returns the [lo, hi) global index range owned by proc id.
+func BlockRange(id, n, p int) (int, int) {
+	per := (n + p - 1) / p
+	lo := id * per
+	hi := lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// CheckSorted verifies a slice is non-decreasing (self-check helper).
+func CheckSorted(keys []uint32) error {
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		return fmt.Errorf("apps: output not sorted")
+	}
+	return nil
+}

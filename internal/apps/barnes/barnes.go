@@ -1,0 +1,218 @@
+package barnes
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/splitc"
+)
+
+// Compute-cost constants (simulated 167 MHz UltraSPARC).
+const (
+	clearCostUs  = 0.08 // per owned cell record zeroed between steps
+	aggCostUs    = 0.40 // per body per level during local aggregation
+	updateCostUs = 1.50 // per cell read-modify-write under the lock
+	probeCostUs  = 0.20 // per software-cache probe in the force pass
+	visitCostUs  = 1.80 // per cell evaluated against the body
+	advanceCost  = 2.00 // per body integration
+)
+
+const paperBodies = 1_000_000
+
+// App is the Barnes benchmark. Steps overrides the time-step count
+// (default 2).
+type App struct {
+	Steps      int
+	CacheLines int // 0 = default (cells/8)
+}
+
+// New returns the benchmark instance.
+func New() App { return App{} }
+
+func (App) Name() string        { return "barnes" }
+func (App) PaperName() string   { return "Barnes" }
+func (App) Description() string { return "Hierarchical N-Body simulation" }
+
+func (a App) steps() int {
+	if a.Steps > 0 {
+		return a.Steps
+	}
+	return 2
+}
+
+func bodyCount(cfg apps.Config) int {
+	return apps.ScaleInt(paperBodies, cfg.Scale, 32*cfg.Procs)
+}
+
+func (a App) InputDesc(cfg apps.Config) string {
+	cfg = cfg.Norm()
+	n := bodyCount(cfg)
+	t := newTree(n, cfg.Procs)
+	return fmt.Sprintf("%d bodies, octree depth %d (%d cells), %d steps",
+		n, t.depth, t.totalCells, a.steps())
+}
+
+// Run executes the benchmark.
+func (a App) Run(cfg apps.Config) (apps.Result, error) {
+	cfg = cfg.Norm()
+	n := bodyCount(cfg)
+	P := cfg.Procs
+	steps := a.steps()
+	t := newTree(n, P)
+	w, err := apps.NewWorld(cfg)
+	if err != nil {
+		return apps.Result{}, err
+	}
+	cacheLines := a.CacheLines
+	if cacheLines == 0 {
+		cacheLines = maxInt(t.totalCells/2, 64)
+	}
+
+	recArr := make([]splitc.GPtr, P) // per-owner cell record blocks
+	all := initBodies(n, cfg.Seed)
+	finalBodies := make([][]body, P)
+	var failedLocks uint64
+
+	body_ := func(p *splitc.Proc) {
+		me := p.ID()
+		lo, hi := apps.BlockRange(me, n, P)
+		mine := append([]body(nil), all[lo:hi]...)
+
+		nRecs := maxInt(t.ownCount[me], 1)
+		recArr[me] = p.Alloc(nRecs * recWords)
+		myRecs := p.Local(recArr[me], nRecs*recWords)
+		p.Barrier()
+
+		recPtr := func(uid int) splitc.GPtr {
+			return recArr[t.ownerOf[uid]].Add(int(t.slotOf[uid]) * recWords)
+		}
+
+		cacheTag := make([]int32, cacheLines)
+		var cacheVal []cellRecord
+
+		for step := 0; step < steps; step++ {
+			// Phase 0: owners clear their cell records.
+			for i := range myRecs {
+				myRecs[i] = 0
+			}
+			p.ComputeUs(clearCostUs * float64(t.ownCount[me]))
+			p.Barrier()
+
+			// Phase 1: tree construction. Aggregate locally, then fold
+			// each touched cell into the shared record under its lock.
+			agg := t.aggregate(mine)
+			p.ComputeUs(aggCostUs * float64(len(mine)*(t.depth+1)))
+			uids := make([]int, 0, len(agg))
+			for uid := range agg {
+				uids = append(uids, uid)
+			}
+			sort.Ints(uids)
+			for _, uid := range uids {
+				c := agg[uid]
+				g := recPtr(uid)
+				// Every update — including the owner's own — holds the
+				// cell lock: a lock-free owner update could land inside a
+				// remote holder's read-modify-write window and be lost.
+				p.Lock(g)
+				if int(t.ownerOf[uid]) == me {
+					base := int(t.slotOf[uid]) * recWords
+					myRecs[base+1] += uint64(c.mass)
+					myRecs[base+2] += uint64(c.sx)
+					myRecs[base+3] += uint64(c.sy)
+					myRecs[base+4] += uint64(c.sz)
+				} else {
+					words := p.BulkGet(g.Add(1), 4)
+					words[0] += uint64(c.mass)
+					words[1] += uint64(c.sx)
+					words[2] += uint64(c.sy)
+					words[3] += uint64(c.sz)
+					p.BulkPut(g.Add(1), words)
+				}
+				p.ComputeUs(updateCostUs)
+				p.Unlock(g)
+			}
+			p.Barrier()
+
+			// Phase 2: force computation through the software cache.
+			for i := range cacheTag {
+				cacheTag[i] = -1
+			}
+			cacheVal = make([]cellRecord, cacheLines)
+			fetch := func(uid int) cellRecord {
+				if int(t.ownerOf[uid]) == me {
+					base := int(t.slotOf[uid]) * recWords
+					return cellRecord{
+						mass: int64(myRecs[base+1]),
+						sx:   int64(myRecs[base+2]),
+						sy:   int64(myRecs[base+3]),
+						sz:   int64(myRecs[base+4]),
+					}
+				}
+				p.ComputeUs(probeCostUs)
+				slot := uid % cacheLines
+				if cacheTag[slot] == int32(uid) {
+					return cacheVal[slot]
+				}
+				wordsIn := p.BulkGet(recPtr(uid).Add(1), 4)
+				c := cellRecord{
+					mass: int64(wordsIn[0]),
+					sx:   int64(wordsIn[1]),
+					sy:   int64(wordsIn[2]),
+					sz:   int64(wordsIn[3]),
+				}
+				cacheTag[slot] = int32(uid)
+				cacheVal[slot] = c
+				return c
+			}
+			for i := range mine {
+				b := &mine[i]
+				fx, fy, fz := t.traverse(b.x, b.y, b.z, fetch, func() { p.ComputeUs(visitCostUs) })
+				b.advance(fx, fy, fz)
+				p.ComputeUs(advanceCost)
+				if i%64 == 63 {
+					p.Poll()
+				}
+			}
+			p.Barrier()
+		}
+
+		finalBodies[me] = mine
+		locks := p.AllReduceSum(uint64(p.FailedLockAttempts()))
+		if me == 0 {
+			failedLocks = locks
+		}
+	}
+
+	if err := w.Run(body_); err != nil {
+		return apps.Result{}, err
+	}
+
+	if cfg.Verify {
+		ref := append([]body(nil), all...)
+		for s := 0; s < steps; s++ {
+			t.serialStep(ref)
+		}
+		for q := 0; q < P; q++ {
+			lo, _ := apps.BlockRange(q, n, P)
+			for i, b := range finalBodies[q] {
+				if b != ref[lo+i] {
+					return apps.Result{}, fmt.Errorf("barnes: body %d diverges from serial reference: %+v vs %+v",
+						lo+i, b, ref[lo+i])
+				}
+			}
+		}
+	}
+	res := apps.Finish(a, cfg, w, cfg.Verify)
+	res.Extra["failedLocks"] = float64(failedLocks)
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ apps.App = App{}

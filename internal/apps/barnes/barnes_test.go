@@ -1,0 +1,139 @@
+package barnes
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+func tinyCfg(procs int) apps.Config {
+	return apps.Config{
+		Procs:  procs,
+		Scale:  0.001, // 1000 bodies
+		Params: logp.NOW(),
+		Seed:   29,
+		Verify: true,
+	}
+}
+
+func TestMatchesSerialReference(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		res, err := New().Run(tinyCfg(procs))
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		if !res.Verified {
+			t.Errorf("P=%d: unverified", procs)
+		}
+	}
+}
+
+func TestTrafficProfile(t *testing.T) {
+	// Barnes mixes lock round trips, remote cell reads, and bulk record
+	// fetches (Table 4: 20.6% reads, 23.3% bulk), with frequent barriers.
+	res, err := New().Run(tinyCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PercentBulk < 10 {
+		t.Errorf("bulk = %.1f%%, want a visible bulk share (cell fetches)", res.Summary.PercentBulk)
+	}
+	if res.Summary.PercentReads < 10 {
+		t.Errorf("reads = %.1f%%, want a visible read share", res.Summary.PercentReads)
+	}
+	if res.Stats.Barriers < 6 {
+		t.Errorf("barriers = %d, Barnes is bulk-synchronous per phase", res.Stats.Barriers)
+	}
+}
+
+func TestLockContentionGrowsWithOverhead(t *testing.T) {
+	// The paper's signature Barnes behavior: added overhead slows lock
+	// service, which multiplies failed lock attempts (2000/step at Δo=0
+	// ballooning to 1M/step at Δo=13 µs before livelock).
+	run := func(dO float64) (float64, sim.Time, error) {
+		cfg := tinyCfg(8)
+		cfg.Params.DeltaO = sim.FromMicros(dO)
+		cfg.TimeLimit = 2 * sim.Second
+		res, err := New().Run(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Extra["failedLocks"], res.Elapsed, nil
+	}
+	f0, t0, err := run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f25, t25, err := run(25)
+	if errors.Is(err, sim.ErrTimeLimit) {
+		return // livelocked, which is the paper's own outcome at high Δo
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f25 < f0 {
+		t.Errorf("failed locks fell from %v to %v under added overhead", f0, f25)
+	}
+	if t25 <= t0 {
+		t.Errorf("overhead did not slow Barnes: %v vs %v", t0, t25)
+	}
+}
+
+func TestCellIndexing(t *testing.T) {
+	tr := newTree(1000, 4)
+	if tr.depth < 2 {
+		t.Errorf("depth = %d", tr.depth)
+	}
+	// A body's containing cells must nest: index at level l is the prefix
+	// of the index at level l+1.
+	b := body{x: 123456, y: 654321, z: 222222}
+	for l := 0; l < tr.depth; l++ {
+		parent := cellIndex(b.x, b.y, b.z, l)
+		child := cellIndex(b.x, b.y, b.z, l+1)
+		if child>>3 != parent {
+			t.Errorf("level %d: child %d does not nest in parent %d", l, child, parent)
+		}
+	}
+	// Ownership tables must be consistent.
+	counts := make([]int, 4)
+	for uid := 0; uid < tr.totalCells; uid++ {
+		o := tr.ownerOf[uid]
+		if int(tr.slotOf[uid]) != counts[o] {
+			t.Fatalf("uid %d slot %d, want %d", uid, tr.slotOf[uid], counts[o])
+		}
+		counts[o]++
+	}
+	for q, c := range counts {
+		if c != tr.ownCount[q] {
+			t.Errorf("proc %d ownCount %d, counted %d", q, tr.ownCount[q], c)
+		}
+	}
+}
+
+func TestMassConservedInSerialStep(t *testing.T) {
+	bodies := initBodies(500, 7)
+	tr := newTree(len(bodies), 4)
+	tr.serialStep(bodies)
+	for i, b := range bodies {
+		if b.x < 0 || b.x >= coordMax || b.y < 0 || b.y >= coordMax || b.z < 0 || b.z >= coordMax {
+			t.Fatalf("body %d left the grid: %+v", i, b)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := New().Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New().Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("nondeterministic: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}

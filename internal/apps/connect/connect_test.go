@@ -1,0 +1,115 @@
+package connect
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+func tinyCfg(procs int) apps.Config {
+	return apps.Config{
+		Procs:  procs,
+		Scale:  0.001, // ~4000 nodes (64x64 mesh)
+		Params: logp.NOW(),
+		Seed:   11,
+		Verify: true,
+	}
+}
+
+func TestComponentsMatchSerial(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		res, err := New().Run(tinyCfg(procs))
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		if !res.Verified {
+			t.Errorf("P=%d: unverified", procs)
+		}
+	}
+}
+
+func TestSeedsChangeMesh(t *testing.T) {
+	cfg := tinyCfg(4)
+	m1 := buildMesh(cfg.Norm())
+	cfg.Seed = 999
+	m2 := buildMesh(cfg.Norm())
+	same := true
+	for i := range m1.right {
+		if m1.right[i] != m2.right[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical meshes")
+	}
+}
+
+func TestEdgeDensity(t *testing.T) {
+	m := buildMesh(tinyCfg(4).Norm())
+	count := 0
+	for i := range m.right {
+		if m.right[i] {
+			count++
+		}
+		if m.down[i] {
+			count++
+		}
+	}
+	frac := float64(count) / float64(2*len(m.right))
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("edge density = %.3f, want ≈0.30", frac)
+	}
+}
+
+func TestReadDominated(t *testing.T) {
+	// Table 4: Connect is 67% reads.
+	res, err := New().Run(tinyCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PercentReads < 30 {
+		t.Errorf("reads = %.1f%%, want the read-dominated profile (paper 67%%)", res.Summary.PercentReads)
+	}
+	if res.Summary.PercentBulk > 5 {
+		t.Errorf("bulk = %.1f%%, want ~0", res.Summary.PercentBulk)
+	}
+}
+
+func TestModestLatencySensitivity(t *testing.T) {
+	// Connect does reads, so it feels latency — but only modestly (its
+	// communication-to-computation ratio is low).
+	run := func(dL float64) sim.Time {
+		cfg := tinyCfg(4)
+		cfg.Params.DeltaL = sim.FromMicros(dL)
+		res, err := New().Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	base, slow := run(0), run(100)
+	s := float64(slow) / float64(base)
+	if s < 1.01 {
+		t.Errorf("ΔL=100µs slowdown = %.3f, expected measurable effect", s)
+	}
+	if s > 6 {
+		t.Errorf("ΔL=100µs slowdown = %.1f, paper shows at most ~4x for read apps", s)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := New().Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New().Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("nondeterministic: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}

@@ -1,0 +1,201 @@
+package em3d
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/splitc"
+)
+
+// App is one EM3D variant. Steps overrides the time-step count when
+// nonzero (tests use a handful; the paper runs 100).
+type App struct {
+	ReadBased bool
+	Steps     int
+}
+
+// NewWrite returns the write-based (push) variant.
+func NewWrite() App { return App{ReadBased: false} }
+
+// NewRead returns the read-based (pull) variant.
+func NewRead() App { return App{ReadBased: true} }
+
+func (a App) Name() string {
+	if a.ReadBased {
+		return "em3d-read"
+	}
+	return "em3d-write"
+}
+
+func (a App) PaperName() string {
+	if a.ReadBased {
+		return "EM3D(read)"
+	}
+	return "EM3D(write)"
+}
+
+func (a App) Description() string {
+	return "Electro-magnetic wave propagation"
+}
+
+func (a App) InputDesc(cfg apps.Config) string {
+	cfg = cfg.Norm()
+	g := buildGraph(cfg)
+	steps := a.steps(g)
+	return fmt.Sprintf("%d nodes, %d%% remote, degree %d, %d steps",
+		2*g.nPer*cfg.Procs, int(remoteFrac*100), degree, steps)
+}
+
+func (a App) steps(g *graph) int {
+	if a.Steps > 0 {
+		return a.Steps
+	}
+	return g.steps
+}
+
+// Run executes the benchmark.
+func (a App) Run(cfg apps.Config) (apps.Result, error) {
+	cfg = cfg.Norm()
+	g := buildGraph(cfg)
+	g.steps = a.steps(g)
+	P := cfg.Procs
+	w, err := apps.NewWorld(cfg)
+	if err != nil {
+		return apps.Result{}, err
+	}
+
+	eArr := make([]splitc.GPtr, P)
+	hArr := make([]splitc.GPtr, P)
+	eBndArr := make([]splitc.GPtr, P)
+	hBndArr := make([]splitc.GPtr, P)
+
+	// Read variant: remote dependencies as (src proc, src index), derived
+	// from the push lists so both variants share one graph.
+	var eRemote, hRemote [][]pushEntry
+	if a.ReadBased {
+		eRemote = make([][]pushEntry, P)
+		hRemote = make([][]pushEntry, P)
+		for p := 0; p < P; p++ {
+			eRemote[p] = make([]pushEntry, g.nEBnd[p])
+			hRemote[p] = make([]pushEntry, g.nHBnd[p])
+		}
+		for src := 0; src < P; src++ {
+			for _, e := range g.pushH[src] {
+				eRemote[e.dst][e.slot] = pushEntry{local: e.local, dst: int32(src)}
+			}
+			for _, e := range g.pushE[src] {
+				hRemote[e.dst][e.slot] = pushEntry{local: e.local, dst: int32(src)}
+			}
+		}
+	}
+
+	verifyFailed := false
+	body := func(p *splitc.Proc) {
+		me := p.ID()
+		nPer := g.nPer
+		eArr[me] = p.Alloc(nPer)
+		hArr[me] = p.Alloc(nPer)
+		eBndArr[me] = p.Alloc(maxInt(g.nEBnd[me], 1))
+		hBndArr[me] = p.Alloc(maxInt(g.nHBnd[me], 1))
+		eVal := p.Local(eArr[me], nPer)
+		hVal := p.Local(hArr[me], nPer)
+		for i := 0; i < nPer; i++ {
+			eVal[i] = initValue(0, me, i)
+			hVal[i] = initValue(1, me, i)
+		}
+		p.Barrier()
+
+		eBnd := p.Local(eBndArr[me], maxInt(g.nEBnd[me], 1))
+		hBnd := p.Local(hBndArr[me], maxInt(g.nHBnd[me], 1))
+		newVals := make([]uint64, nPer)
+
+		computeSide := func(vals []uint64, localDep [][]int32, localW [][]uint64,
+			bndIdx [][]int32, bndW [][]uint64, bnd []uint64, other []uint64,
+			remote []pushEntry, otherArr []splitc.GPtr) {
+			for i := 0; i < nPer; i++ {
+				v := vals[i]
+				deps := localDep[i]
+				ws := localW[i]
+				for k, j := range deps {
+					v += ws[k] * other[j]
+				}
+				bs := bndIdx[i]
+				bws := bndW[i]
+				for k, s := range bs {
+					if a.ReadBased {
+						src := remote[s]
+						rv := p.ReadWord(otherArr[src.dst].Add(int(src.local)))
+						v += bws[k] * rv
+					} else {
+						v += bws[k] * bnd[s]
+					}
+				}
+				p.ComputeUs(edgeCostUs*float64(len(deps)+len(bs)) + nodeCostUs)
+				newVals[i] = v
+			}
+			copy(vals, newVals)
+		}
+
+		push := func(list pushList, vals []uint64, dstArr []splitc.GPtr) {
+			for _, e := range list {
+				p.WriteWord(dstArr[e.dst].Add(int(e.slot)), vals[e.local])
+			}
+		}
+
+		for step := 0; step < g.steps; step++ {
+			if a.ReadBased {
+				computeSide(eVal, g.eLocalDep[me], g.eLocalW[me], g.eBoundary[me], g.eBndW[me], eBnd, hVal, eRemote[me], hArr)
+				p.Barrier()
+				computeSide(hVal, g.hLocalDep[me], g.hLocalW[me], g.hBoundary[me], g.hBndW[me], hBnd, eVal, hRemote[me], eArr)
+				p.Barrier()
+				continue
+			}
+			// Write-based: push H values into remote E-boundary copies,
+			// compute E; push E, compute H; barrier so no push of the next
+			// step lands under a reader.
+			push(g.pushH[me], hVal, eBndArr)
+			p.Barrier()
+			computeSide(eVal, g.eLocalDep[me], g.eLocalW[me], g.eBoundary[me], g.eBndW[me], eBnd, hVal, nil, nil)
+			push(g.pushE[me], eVal, hBndArr)
+			p.Barrier()
+			computeSide(hVal, g.hLocalDep[me], g.hLocalW[me], g.hBoundary[me], g.hBndW[me], hBnd, eVal, nil, nil)
+			p.Barrier()
+		}
+
+		if cfg.Verify {
+			p.Barrier()
+			eRef, hRef := verifyRef(g, P)
+			for i := 0; i < nPer; i++ {
+				if eVal[i] != eRef[me][i] || hVal[i] != hRef[me][i] {
+					verifyFailed = true
+					break
+				}
+			}
+		}
+	}
+
+	if err := w.Run(body); err != nil {
+		return apps.Result{}, err
+	}
+	if cfg.Verify && verifyFailed {
+		return apps.Result{}, fmt.Errorf("em3d: field values diverge from serial reference")
+	}
+	return apps.Finish(a, cfg, w, cfg.Verify), nil
+}
+
+// verifyRef memoizes the serial reference per graph (every proc calls it).
+func verifyRef(g *graph, P int) ([][]uint64, [][]uint64) {
+	if g.refE == nil {
+		g.refE, g.refH = g.serialReference(P)
+	}
+	return g.refE, g.refH
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ apps.App = App{}

@@ -1,0 +1,53 @@
+package murphi
+
+import "testing"
+
+func TestStateSpaceSizes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    Model
+		min  int
+	}{
+		{"tiny", TinyModel(), 50},
+		{"default", DefaultModel(), 40000},
+	} {
+		n, v := serialExplore(tc.m)
+		t.Logf("%s: reachable states %d, violations %d", tc.name, n, v)
+		if v != 0 {
+			t.Errorf("%s: protocol has %d invariant violations", tc.name, v)
+		}
+		if n < tc.min {
+			t.Errorf("%s: state space only %d states (want >= %d)", tc.name, n, tc.min)
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	m := DefaultModel()
+	// Walk a few thousand reachable states and verify pack/unpack identity.
+	init := initialState()
+	seen := map[key]bool{init.pack(m): true}
+	frontier := []state{init}
+	var scratch []state
+	for steps := 0; steps < 6 && len(frontier) > 0; steps++ {
+		var next []state
+		for i := range frontier {
+			scratch = successors(m, &frontier[i], scratch[:0])
+			for j := range scratch {
+				k := scratch[j].pack(m)
+				back := unpack(k, m)
+				if back != scratch[j] {
+					t.Fatalf("pack/unpack mismatch: %+v vs %+v", scratch[j], back)
+				}
+				if !seen[k] {
+					seen[k] = true
+					next = append(next, scratch[j])
+				}
+			}
+		}
+		frontier = next
+	}
+	if len(seen) < 100 {
+		t.Errorf("walked only %d states", len(seen))
+	}
+}

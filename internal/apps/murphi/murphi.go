@@ -1,0 +1,226 @@
+package murphi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/am"
+	"repro/internal/apps"
+	"repro/internal/splitc"
+)
+
+// Compute-cost constants (simulated 167 MHz UltraSPARC).
+const (
+	expandCostUs = 1.1 // per successor: rule firing + state canonicalization
+	lookupCostUs = 0.7 // per successor: hash-table probe and insert
+	assertCostUs = 0.4 // per state: invariant evaluation
+)
+
+// batchBytes is the state-batch flush threshold; Stern & Dill ship states
+// in ~kilobyte batches (Table 4 shows ≈1.6 KB per bulk message).
+const batchBytes = 1600
+
+// App is the Mur-phi benchmark. The zero Model means DefaultModel (the
+// protocol instance is the input — like the paper's, it does not scale
+// with Config.Scale).
+type App struct {
+	Model Model
+}
+
+// New returns the benchmark instance with the default protocol model.
+func New() App { return App{Model: DefaultModel()} }
+
+func (App) Name() string        { return "murphi" }
+func (App) PaperName() string   { return "Murφ" }
+func (App) Description() string { return "Protocol Verification" }
+
+func (a App) model() Model {
+	if a.Model.Caches == 0 {
+		return DefaultModel()
+	}
+	return a.Model
+}
+
+func (a App) InputDesc(cfg apps.Config) string {
+	m := a.model()
+	return fmt.Sprintf("MSI protocol, %d caches, %d values, channel depth %d/%d",
+		m.Caches, m.Values, m.MemDepth, m.CacheDepth)
+}
+
+// serialExplore runs the reference BFS, returning the reachable-state
+// count and the number of invariant violations.
+func serialExplore(m Model) (int, int) {
+	init := initialState()
+	ik := init.pack(m)
+	visited := map[key]bool{ik: true}
+	frontier := []key{ik}
+	violations := 0
+	if !checkInvariant(m, &init) {
+		violations++
+	}
+	var scratch []state
+	for len(frontier) > 0 {
+		var next []key
+		for _, k := range frontier {
+			s := unpack(k, m)
+			scratch = successors(m, &s, scratch[:0])
+			for i := range scratch {
+				nk := scratch[i].pack(m)
+				if !visited[nk] {
+					visited[nk] = true
+					if !checkInvariant(m, &scratch[i]) {
+						violations++
+					}
+					next = append(next, nk)
+				}
+			}
+		}
+		frontier = next
+	}
+	return len(visited), violations
+}
+
+// hashKey maps a packed state to its owning processor.
+func hashKey(k key) uint64 {
+	z := k[0] ^ (k[1] * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Run executes the benchmark.
+func (a App) Run(cfg apps.Config) (apps.Result, error) {
+	cfg = cfg.Norm()
+	m := a.model()
+	P := cfg.Procs
+	w, err := apps.NewWorld(cfg)
+	if err != nil {
+		return apps.Result{}, err
+	}
+
+	totalStates := uint64(0)
+	totalViolations := uint64(0)
+
+	// Handlers run on the RECEIVING processor, so per-processor state they
+	// touch is dispatched through these shared arrays indexed by ep.ID() —
+	// never through the sending body's closures.
+	acceptFns := make([]func(key), P)
+	recvCounts := make([]uint64, P)
+
+	body := func(p *splitc.Proc) {
+		me := p.ID()
+		visited := make(map[key]bool)
+		queue := make([]key, 0, 1024)
+		var sentStates uint64
+		violations := uint64(0)
+
+		accept := func(k key) {
+			if visited[k] {
+				return
+			}
+			visited[k] = true
+			s := unpack(k, m)
+			if !checkInvariant(m, &s) {
+				violations++
+			}
+			queue = append(queue, k)
+		}
+		acceptFns[me] = accept
+
+		batches := make([][]byte, P)
+		flush := func(dst int) {
+			if len(batches[dst]) == 0 {
+				return
+			}
+			buf := batches[dst]
+			batches[dst] = nil
+			p.EP().Store(dst, am.ClassWrite, func(ep *am.Endpoint, tok *am.Token, args am.Args, data []byte) {
+				for off := 0; off+16 <= len(data); off += 16 {
+					var k key
+					k[0] = binary.LittleEndian.Uint64(data[off:])
+					k[1] = binary.LittleEndian.Uint64(data[off+8:])
+					recvCounts[ep.ID()]++
+					acceptFns[ep.ID()](k)
+				}
+			}, am.Args{}, buf)
+		}
+		emit := func(k key) {
+			dst := int(hashKey(k) % uint64(P))
+			if dst == me {
+				accept(k)
+				return
+			}
+			var rec [16]byte
+			binary.LittleEndian.PutUint64(rec[:], k[0])
+			binary.LittleEndian.PutUint64(rec[8:], k[1])
+			batches[dst] = append(batches[dst], rec[:]...)
+			sentStates++
+			if len(batches[dst]) >= batchBytes {
+				flush(dst)
+			}
+		}
+
+		init := initialState()
+		if int(hashKey(init.pack(m))%uint64(P)) == me {
+			accept(init.pack(m))
+		}
+		p.Barrier()
+
+		// Work loop with double-confirmation termination detection.
+		scratch := make([]state, 0, 32)
+		var lastSent, lastRecv uint64 = ^uint64(0), ^uint64(0)
+		for {
+			for len(queue) > 0 {
+				k := queue[len(queue)-1]
+				queue = queue[:len(queue)-1]
+				s := unpack(k, m)
+				scratch = successors(m, &s, scratch[:0])
+				p.ComputeUs(expandCostUs*float64(len(scratch)) + assertCostUs)
+				for i := range scratch {
+					p.ComputeUs(lookupCostUs)
+					emit(scratch[i].pack(m))
+				}
+				p.Poll()
+			}
+			for dst := range batches {
+				flush(dst)
+			}
+			s := p.AllReduceSum(sentStates)
+			r := p.AllReduceSum(recvCounts[me])
+			q := p.AllReduceSum(uint64(len(queue)))
+			if q == 0 && s == r {
+				if s == lastSent && r == lastRecv {
+					break // confirmed quiescent twice
+				}
+				lastSent, lastRecv = s, r
+				continue
+			}
+			lastSent, lastRecv = ^uint64(0), ^uint64(0)
+		}
+
+		states := p.AllReduceSum(uint64(len(visited)))
+		viols := p.AllReduceSum(violations)
+		if me == 0 {
+			totalStates = states
+			totalViolations = viols
+		}
+	}
+
+	if err := w.Run(body); err != nil {
+		return apps.Result{}, err
+	}
+
+	res := apps.Finish(a, cfg, w, cfg.Verify)
+	res.Extra["states"] = float64(totalStates)
+	res.Extra["violations"] = float64(totalViolations)
+	if cfg.Verify {
+		wantStates, wantViol := serialExplore(m)
+		if int(totalStates) != wantStates || int(totalViolations) != wantViol {
+			return apps.Result{}, fmt.Errorf("murphi: explored %d states (%d violations), serial reference %d (%d)",
+				totalStates, totalViolations, wantStates, wantViol)
+		}
+	}
+	return res, nil
+}
+
+var _ apps.App = App{}

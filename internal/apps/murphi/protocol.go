@@ -1,0 +1,323 @@
+// Package murphi implements the paper's parallel Mur-phi benchmark (Stern
+// & Dill, "Parallelizing the Mur-phi Verifier"): exhaustive exploration of
+// a cache-coherence protocol's reachable state space, with states hashed
+// to owning processors and shipped there in batched bulk messages.
+//
+// Substitution note: the paper verifies an SCI model; SCI's full rule set
+// is thousands of lines of Mur-phi. We model an MSI write-invalidate
+// protocol of the same shape — N caches, one line, one memory, explicit
+// bounded channels, a small data-value domain — which exercises the
+// identical exploration machinery (state encoding, hashing, successor
+// generation, invariant checking, distributed work queues). The model
+// size is configurable; the benchmark default reaches ~10^5..10^6 states.
+package murphi
+
+// Model sizes the protocol instance (and with it the state space).
+type Model struct {
+	Caches     int // number of caches (2..4)
+	Values     int // data-value domain size (2..4)
+	MemDepth   int // cache->memory channel capacity (1..3)
+	CacheDepth int // memory->cache channel capacity (1..3)
+
+	// InjectBug seeds the classic missing-invalidation race: memory
+	// grants M after the FIRST InvAck instead of waiting for all of
+	// them. The verifier must then reach states with two modified
+	// copies — this is how the test suite proves the checker actually
+	// detects protocol errors rather than rubber-stamping them.
+	InjectBug bool
+}
+
+// DefaultModel is the benchmark instance: ≈45k reachable states (measured
+// in the package tests), the largest configuration whose packed state
+// fits the two-word wire format.
+func DefaultModel() Model { return Model{Caches: 4, Values: 4, MemDepth: 2, CacheDepth: 2} }
+
+// TinyModel is a quickly explorable instance for tests and examples.
+func TinyModel() Model { return Model{Caches: 2, Values: 2, MemDepth: 1, CacheDepth: 1} }
+
+// Cache states.
+const (
+	cacheI = iota
+	cacheS
+	cacheM
+	cacheISD // issued GetS, awaiting Data
+	cacheIMD // issued GetM, awaiting DataM
+)
+
+// Message types (0 = empty slot).
+const (
+	msgNone = iota
+	msgGetS
+	msgGetM
+	msgPutM
+	msgData
+	msgDataM
+	msgInv
+	msgInvAck
+)
+
+const maxCaches = 4
+const maxDepth = 3
+
+// msg is one channel entry.
+type msg struct {
+	typ uint8
+	val uint8
+}
+
+// state is an explicit protocol configuration. It is the Mur-phi "record":
+// per-cache state and value, memory word with serialization bookkeeping,
+// and bounded in-order channels.
+type state struct {
+	cacheSt  [maxCaches]uint8
+	cacheVal [maxCaches]uint8
+	memVal   uint8
+	owner    uint8 // 0 none, else cache index + 1
+	pending  uint8 // 0 idle, else requester index + 1
+	acksLeft uint8
+	toCache  [maxCaches][maxDepth]msg
+	toMem    [maxCaches][maxDepth]msg
+}
+
+// key packs a state into two words for hashing and wire transfer. The
+// packing is injective for all supported model sizes: 4 bits per cache
+// (3 state + up to 2 value bits exceeds 4 — use 5), so fields get fixed
+// generous widths summing under 128 bits.
+type key [2]uint64
+
+// pack serializes s into a key: caches 5 bits each (≤20), memory 8,
+// channels 5 bits per entry (≤120 total across both words).
+func (s *state) pack(m Model) key {
+	var k key
+	w, bit := 0, uint(0)
+	put := func(v uint64, width uint) {
+		if bit+width > 64 {
+			w, bit = w+1, 0
+			if w > 1 {
+				panic("murphi: model too large for the 128-bit state encoding")
+			}
+		}
+		k[w] |= v << bit
+		bit += width
+	}
+	for i := 0; i < m.Caches; i++ {
+		put(uint64(s.cacheSt[i]), 3)
+		put(uint64(s.cacheVal[i]), 2)
+	}
+	put(uint64(s.memVal), 2)
+	put(uint64(s.owner), 3)
+	put(uint64(s.pending), 3)
+	put(uint64(s.acksLeft), 2)
+	for i := 0; i < m.Caches; i++ {
+		for d := 0; d < m.CacheDepth; d++ {
+			put(uint64(s.toCache[i][d].typ), 3)
+			put(uint64(s.toCache[i][d].val), 2)
+		}
+		for d := 0; d < m.MemDepth; d++ {
+			put(uint64(s.toMem[i][d].typ), 3)
+			put(uint64(s.toMem[i][d].val), 2)
+		}
+	}
+	return k
+}
+
+// unpack reverses pack.
+func unpack(k key, m Model) state {
+	var s state
+	w, bit := 0, uint(0)
+	get := func(width uint) uint64 {
+		if bit+width > 64 {
+			w, bit = w+1, 0
+		}
+		v := (k[w] >> bit) & ((1 << width) - 1)
+		bit += width
+		return v
+	}
+	for i := 0; i < m.Caches; i++ {
+		s.cacheSt[i] = uint8(get(3))
+		s.cacheVal[i] = uint8(get(2))
+	}
+	s.memVal = uint8(get(2))
+	s.owner = uint8(get(3))
+	s.pending = uint8(get(3))
+	s.acksLeft = uint8(get(2))
+	for i := 0; i < m.Caches; i++ {
+		for d := 0; d < m.CacheDepth; d++ {
+			s.toCache[i][d].typ = uint8(get(3))
+			s.toCache[i][d].val = uint8(get(2))
+		}
+		for d := 0; d < m.MemDepth; d++ {
+			s.toMem[i][d].typ = uint8(get(3))
+			s.toMem[i][d].val = uint8(get(2))
+		}
+	}
+	return s
+}
+
+func pushChan(q *[maxDepth]msg, depth int, typ, val uint8) bool {
+	for d := 0; d < depth; d++ {
+		if q[d].typ == msgNone {
+			q[d] = msg{typ, val}
+			return true
+		}
+	}
+	return false
+}
+
+func popChan(q *[maxDepth]msg, depth int) {
+	copy(q[:depth], q[1:depth])
+	q[depth-1] = msg{}
+}
+
+// initialState: everything invalid and empty.
+func initialState() state { return state{} }
+
+// successors appends every state reachable in one rule firing.
+func successors(m Model, s *state, out []state) []state {
+	emit := func(ns state) { out = append(out, ns) }
+
+	for i := 0; i < m.Caches; i++ {
+		switch s.cacheSt[i] {
+		case cacheI:
+			ns := *s // load miss: GetS
+			if pushChan(&ns.toMem[i], m.MemDepth, msgGetS, 0) {
+				ns.cacheSt[i] = cacheISD
+				emit(ns)
+			}
+			ns = *s // store miss: GetM
+			if pushChan(&ns.toMem[i], m.MemDepth, msgGetM, 0) {
+				ns.cacheSt[i] = cacheIMD
+				emit(ns)
+			}
+		case cacheS:
+			ns := *s // upgrade
+			if pushChan(&ns.toMem[i], m.MemDepth, msgGetM, 0) {
+				ns.cacheSt[i] = cacheIMD
+				ns.cacheVal[i] = 0
+				emit(ns)
+			}
+			ns = *s // silent eviction
+			ns.cacheSt[i] = cacheI
+			ns.cacheVal[i] = 0
+			emit(ns)
+		case cacheM:
+			for v := 0; v < m.Values; v++ { // store any value
+				if uint8(v) != s.cacheVal[i] {
+					ns := *s
+					ns.cacheVal[i] = uint8(v)
+					emit(ns)
+				}
+			}
+			ns := *s // writeback
+			if pushChan(&ns.toMem[i], m.MemDepth, msgPutM, s.cacheVal[i]) {
+				ns.cacheSt[i] = cacheI
+				ns.cacheVal[i] = 0
+				emit(ns)
+			}
+		}
+		if head := s.toCache[i][0]; head.typ != msgNone {
+			ns := *s
+			popChan(&ns.toCache[i], m.CacheDepth)
+			switch head.typ {
+			case msgData:
+				if s.cacheSt[i] == cacheISD {
+					ns.cacheSt[i] = cacheS
+					ns.cacheVal[i] = head.val
+					emit(ns)
+				}
+			case msgDataM:
+				if s.cacheSt[i] == cacheIMD {
+					ns.cacheSt[i] = cacheM
+					ns.cacheVal[i] = head.val
+					emit(ns)
+				}
+			case msgInv:
+				if pushChan(&ns.toMem[i], m.MemDepth, msgInvAck, 0) {
+					if s.cacheSt[i] == cacheS || s.cacheSt[i] == cacheM {
+						ns.cacheSt[i] = cacheI
+						ns.cacheVal[i] = 0
+					}
+					emit(ns)
+				}
+			}
+		}
+	}
+
+	for i := 0; i < m.Caches; i++ {
+		head := s.toMem[i][0]
+		if head.typ == msgNone {
+			continue
+		}
+		base := *s
+		popChan(&base.toMem[i], m.MemDepth)
+		switch head.typ {
+		case msgGetS:
+			if s.pending == 0 && s.owner == 0 {
+				ns := base
+				if pushChan(&ns.toCache[i], m.CacheDepth, msgData, s.memVal) {
+					emit(ns)
+				}
+			}
+		case msgGetM:
+			if s.pending == 0 && s.owner == 0 {
+				ns := base
+				ok := true
+				for j := 0; j < m.Caches && ok; j++ {
+					if j != i {
+						ok = pushChan(&ns.toCache[j], m.CacheDepth, msgInv, 0)
+					}
+				}
+				if ok {
+					ns.pending = uint8(i) + 1
+					ns.acksLeft = uint8(m.Caches - 1)
+					emit(ns)
+				}
+			}
+		case msgPutM:
+			ns := base
+			if s.owner == uint8(i)+1 {
+				ns.memVal = head.val
+				ns.owner = 0
+			}
+			emit(ns)
+		case msgInvAck:
+			if s.pending != 0 && s.acksLeft > 0 {
+				ns := base
+				ns.acksLeft--
+				if m.InjectBug {
+					// Seeded bug: grant M on the first ack, leaving the
+					// other caches un-invalidated.
+					ns.acksLeft = 0
+				}
+				if ns.acksLeft == 0 {
+					req := int(s.pending - 1)
+					if !pushChan(&ns.toCache[req], m.CacheDepth, msgDataM, s.memVal) {
+						break // retry once the requester's channel drains
+					}
+					ns.pending = 0
+					ns.owner = uint8(req) + 1
+				}
+				emit(ns)
+			}
+		}
+	}
+	return out
+}
+
+// checkInvariant enforces the single-writer property: a modified copy
+// excludes every other valid copy (no second M, and no S alongside an M).
+func checkInvariant(m Model, s *state) bool {
+	modified, shared := 0, 0
+	for i := 0; i < m.Caches; i++ {
+		switch s.cacheSt[i] {
+		case cacheM:
+			modified++
+		case cacheS:
+			shared++
+		}
+	}
+	if modified > 1 {
+		return false
+	}
+	return modified == 0 || shared == 0
+}

@@ -1,0 +1,115 @@
+package nowsort
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+func tinyCfg(procs int) apps.Config {
+	return apps.Config{
+		Procs:  procs,
+		Scale:  0.0002, // 6400 records
+		Params: logp.NOW(),
+		Seed:   17,
+		Verify: true,
+	}
+}
+
+func TestSortsCorrectly(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		res, err := New().Run(tinyCfg(procs))
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		if !res.Verified {
+			t.Errorf("P=%d: unverified", procs)
+		}
+	}
+}
+
+func TestBulkDominatedTraffic(t *testing.T) {
+	res, err := New().Run(tinyCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PercentBulk < 30 {
+		t.Errorf("bulk = %.1f%%, NOW-sort ships records in bulk batches", res.Summary.PercentBulk)
+	}
+	if res.Summary.PercentReads > 5 {
+		t.Errorf("reads = %.1f%%, want ~0", res.Summary.PercentReads)
+	}
+}
+
+func TestDiskBound(t *testing.T) {
+	// The defining property (Figure 8): insensitive to network bandwidth
+	// until it drops below a single disk's 5.5 MB/s.
+	run := func(bw float64) sim.Time {
+		cfg := tinyCfg(4)
+		cfg.Params.BulkBandwidthMBs = bw
+		res, err := New().Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	base := run(0)  // machine rate, 38 MB/s
+	at15 := run(15) // still above disk rate
+	at1 := run(1)   // far below disk rate
+	if ratio := float64(at15) / float64(base); ratio > 1.10 {
+		t.Errorf("15 MB/s slowdown = %.2f, want ≈1 (disk-limited)", ratio)
+	}
+	if ratio := float64(at1) / float64(base); ratio < 1.5 {
+		t.Errorf("1 MB/s slowdown = %.2f, want a clear hit once below the disk rate", ratio)
+	}
+}
+
+func TestOverheadMostlyHidden(t *testing.T) {
+	// Overhead overlaps disk time: at Δo=100µs the paper sees only ~1.25x.
+	run := func(dO float64) sim.Time {
+		cfg := tinyCfg(4)
+		cfg.Params.DeltaO = sim.FromMicros(dO)
+		res, err := New().Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	base, slow := run(0), run(20)
+	if ratio := float64(slow) / float64(base); ratio > 2.5 {
+		t.Errorf("Δo=20µs slowdown = %.2f, NOW-sort should hide overhead under disk time", ratio)
+	}
+}
+
+func TestDestOfPartition(t *testing.T) {
+	for _, p := range []int{1, 2, 7, 32} {
+		prev := 0
+		for i := 0; i < 1000; i++ {
+			key := uint64(i) << 54 // sweep ascending keys
+			d := destOf(key, p)
+			if d < 0 || d >= p {
+				t.Fatalf("destOf out of range: %d for P=%d", d, p)
+			}
+			if d < prev {
+				t.Fatalf("destOf not monotone in key")
+			}
+			prev = d
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := New().Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New().Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("nondeterministic: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}

@@ -1,0 +1,100 @@
+package pray
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+func tinyCfg(procs int) apps.Config {
+	return apps.Config{
+		Procs:  procs,
+		Scale:  0.002, // ~2000 pixels, ~64 objects
+		Params: logp.NOW(),
+		Seed:   23,
+		Verify: true,
+	}
+}
+
+func TestRendersExactly(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		res, err := New().Run(tinyCfg(procs))
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		if !res.Verified {
+			t.Errorf("P=%d: unverified", procs)
+		}
+	}
+}
+
+func TestReadAndBulkProfile(t *testing.T) {
+	// Table 4: P-Ray is 96.5% reads and 47.9% bulk — short read requests
+	// answered by bulk object records.
+	res, err := New().Run(tinyCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PercentReads < 60 {
+		t.Errorf("reads = %.1f%%, want read-dominated", res.Summary.PercentReads)
+	}
+	if res.Summary.PercentBulk < 25 || res.Summary.PercentBulk > 60 {
+		t.Errorf("bulk = %.1f%%, want ≈half (bulk replies)", res.Summary.PercentBulk)
+	}
+	if res.Extra["misses"] == 0 {
+		t.Error("no cache misses: the cache hid all communication")
+	}
+}
+
+func TestSmallerCacheMoreMisses(t *testing.T) {
+	small := App{CacheLines: 4}
+	big := App{CacheLines: 4096}
+	rs, err := small.Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := big.Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Extra["misses"] <= rb.Extra["misses"] {
+		t.Errorf("small cache misses %v <= big cache misses %v", rs.Extra["misses"], rb.Extra["misses"])
+	}
+	if rs.Elapsed <= rb.Elapsed {
+		t.Errorf("small cache (%v) not slower than big cache (%v)", rs.Elapsed, rb.Elapsed)
+	}
+}
+
+func TestLatencySensitive(t *testing.T) {
+	// Read-based: P-Ray belongs to the latency-sensitive group in Fig 7.
+	run := func(dL float64) sim.Time {
+		cfg := tinyCfg(4)
+		cfg.Params.DeltaL = sim.FromMicros(dL)
+		res, err := New().Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	base, slow := run(0), run(100)
+	s := float64(slow) / float64(base)
+	if s < 1.05 {
+		t.Errorf("ΔL=100 slowdown = %.2f, expected a visible effect for a read-based app", s)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := New().Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New().Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("nondeterministic: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}

@@ -1,0 +1,101 @@
+package radb
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+func tinyCfg(procs int) apps.Config {
+	return apps.Config{
+		Procs:  procs,
+		Scale:  0.0005,
+		Params: logp.NOW(),
+		Seed:   19,
+		Verify: true,
+	}
+}
+
+func TestSortsCorrectly(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		res, err := New().Run(tinyCfg(procs))
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		if !res.Verified {
+			t.Errorf("P=%d: unverified", procs)
+		}
+	}
+}
+
+func TestBulkTrafficShape(t *testing.T) {
+	// Table 4: Radb is 34.7% bulk with tiny overall message counts.
+	res, err := New().Run(tinyCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PercentBulk < 15 {
+		t.Errorf("bulk = %.1f%%, want the bulk-restructured profile", res.Summary.PercentBulk)
+	}
+	if res.Summary.AvgMsgsPerProc > 2000 {
+		t.Errorf("avg msgs/proc = %.0f, Radb should send few, large messages", res.Summary.AvgMsgsPerProc)
+	}
+}
+
+func TestFarLessOverheadSensitiveThanShortMessages(t *testing.T) {
+	// Figure 5: Radb barely moves under overhead (1.7x at Δo=100 in the
+	// paper) because it sends so few messages.
+	run := func(dO float64) sim.Time {
+		cfg := tinyCfg(4)
+		cfg.Params.DeltaO = sim.FromMicros(dO)
+		res, err := New().Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	base, slow := run(0), run(100)
+	s := float64(slow) / float64(base)
+	if s > 8 {
+		t.Errorf("Δo=100 slowdown = %.2f, Radb should be weakly overhead-sensitive", s)
+	}
+}
+
+func TestBandwidthSensitivity(t *testing.T) {
+	// Figure 8: Radb is the most bandwidth-sensitive app; it must feel a
+	// 1 MB/s cap.
+	run := func(bw float64) sim.Time {
+		cfg := tinyCfg(4)
+		cfg.Params.BulkBandwidthMBs = bw
+		res, err := New().Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	base, capped := run(0), run(1)
+	if float64(capped)/float64(base) < 1.5 {
+		t.Errorf("1 MB/s slowdown = %.2f, want a clear bandwidth effect", float64(capped)/float64(base))
+	}
+	// And tolerance above ~15 MB/s, per the paper.
+	at20 := run(20)
+	if float64(at20)/float64(base) > 1.6 {
+		t.Errorf("20 MB/s slowdown = %.2f, want near-tolerance above 15 MB/s", float64(at20)/float64(base))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := New().Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New().Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("nondeterministic: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}

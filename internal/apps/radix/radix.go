@@ -1,0 +1,271 @@
+// Package radix implements the paper's Radix sort benchmark: a two-pass
+// parallel radix sort of 32-bit keys (paper input: 16 million keys),
+// following the Split-C implementation analyzed in Dusseau et al., "Fast
+// Parallel Sorting Under LogP" (IEEE TPDS 1996).
+//
+// Each pass has three phases:
+//
+//  1. Local rank — count the occurrences of each digit locally
+//     (computation only).
+//  2. Global histogram — ranks are accumulated across processors in a
+//     pipelined cyclic shift: processor i forwards, bucket by bucket, the
+//     running count of keys with each digit held by processors ≤ i. One
+//     short write per bucket per hop; the phase carries a serialization
+//     proportional to radix × P, which is exactly the "serialization
+//     effect" §5.1 of the paper dissects (Radix's overhead sensitivity
+//     grows with P at fixed input).
+//  3. Distribution — every key is written directly to its final global
+//     position with a pipelined remote store: one short message per key.
+//
+// The key range is bounded to radix² so two passes fully sort, preserving
+// the paper's pass structure at every input scale (the paper's 16M keys
+// with a 2^16 radix scale down together).
+package radix
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/splitc"
+)
+
+// Compute-cost constants (simulated 167 MHz UltraSPARC):
+const (
+	countCostUs = 0.055 // per key: load, extract digit, increment counter
+	chainCostUs = 0.040 // per bucket per hop: add and forward
+	placeCostUs = 0.085 // per key: compute destination, issue store
+)
+
+const paperKeys = 16_000_000
+
+// App is the Radix benchmark.
+type App struct{}
+
+// New returns the benchmark instance.
+func New() App { return App{} }
+
+func (App) Name() string      { return "radix" }
+func (App) PaperName() string { return "Radix" }
+func (App) Description() string {
+	return "Integer radix sort"
+}
+
+// sizes derives the scaled input: total keys and the radix (digit size)
+// chosen to keep the histogram/distribution message ratio of the paper.
+func sizes(cfg apps.Config) (n, radix int) {
+	n = apps.ScaleInt(paperKeys, cfg.Scale, 64*cfg.Procs)
+	// Paper: 16M keys sorted with a 2^16 radix in two passes; keep
+	// radix ≈ sqrt(key range) with the same keys-per-proc/radix ratio.
+	perProc := n / cfg.Procs
+	bits := int(math.Round(math.Log2(float64(perProc) * 65536 / 500000)))
+	if bits < 6 {
+		bits = 6
+	}
+	if bits > 16 {
+		bits = 16
+	}
+	radix = 1 << bits
+	return n, radix
+}
+
+func (a App) InputDesc(cfg apps.Config) string {
+	cfg = cfg.Norm()
+	n, radix := sizes(cfg)
+	return fmt.Sprintf("%d keys in [0,%d), radix %d, 2 passes", n, radix*radix, radix)
+}
+
+// Run executes the benchmark.
+func (a App) Run(cfg apps.Config) (apps.Result, error) {
+	cfg = cfg.Norm()
+	n, radix := sizes(cfg)
+	w, err := apps.NewWorld(cfg)
+	if err != nil {
+		return apps.Result{}, err
+	}
+	P := cfg.Procs
+	digitBits := uint(math.Ilogb(float64(radix)))
+
+	// Published global structures (indexed by proc, filled before the
+	// first barrier).
+	destArr := make([]splitc.GPtr, P)  // destination key blocks
+	chainArr := make([]splitc.GPtr, P) // incoming running counts
+	offArr := make([]splitc.GPtr, P)   // global bucket offsets
+	flagArr := make([]splitc.GPtr, P)  // offsets-ready flags
+	boundArr := make([]splitc.GPtr, P) // first key per proc (verification)
+	verifyFailed := false
+
+	var checkSum, checkCount uint64 // filled under Verify on proc 0
+
+	body := func(p *splitc.Proc) {
+		me := p.ID()
+		lo, hi := apps.BlockRange(me, n, P)
+		mine := hi - lo
+
+		// Deterministic per-proc key generation, bounded to radix².
+		keys := make([]uint32, mine)
+		rng := p.Rand()
+		keyRange := radix * radix // ≤ 2^32, fits int on 64-bit
+		var localSum uint64
+		for i := range keys {
+			keys[i] = uint32(rng.Intn(keyRange))
+			localSum += uint64(keys[i])
+		}
+
+		destArr[me] = p.Alloc(mine)
+		chainArr[me] = p.Alloc(radix)
+		offArr[me] = p.Alloc(radix)
+		flagArr[me] = p.Alloc(1)
+		boundArr[me] = p.Alloc(1)
+		p.Barrier()
+
+		for pass := 0; pass < 2; pass++ {
+			shift := uint(pass) * digitBits
+			mask := uint32(radix - 1)
+
+			// Phase 1: local rank.
+			p.EnterPhase("local-rank")
+			counts := make([]uint64, radix)
+			for i, k := range keys {
+				counts[(k>>shift)&mask]++
+				if i%4096 == 4095 {
+					p.Poll()
+				}
+			}
+			p.ComputeUs(countCostUs * float64(len(keys)))
+
+			// Phase 2: global histogram, pipelined cyclic shift.
+			p.EnterPhase("histogram")
+			const sentinel = ^uint64(0)
+			chain := p.Local(chainArr[me], radix)
+			for b := range chain {
+				chain[b] = sentinel
+			}
+			p.Barrier()
+
+			myStart := make([]uint64, radix)
+			totals := p.Local(offArr[me], radix) // reused as scratch on P-1
+			if me == 0 {
+				for b := 0; b < radix; b++ {
+					if P > 1 {
+						p.WriteWord(chainArr[1].Add(b), counts[b])
+					} else {
+						totals[b] = counts[b]
+					}
+					p.ComputeUs(chainCostUs)
+				}
+			} else {
+				for b := 0; b < radix; b++ {
+					bb := b
+					p.EP().WaitUntil(func() bool { return chain[bb] != sentinel }, "radix: histogram chain")
+					myStart[b] = chain[b]
+					next := chain[b] + counts[b]
+					if me < P-1 {
+						p.WriteWord(chainArr[me+1].Add(b), next)
+					} else {
+						totals[b] = next
+					}
+					p.ComputeUs(chainCostUs)
+				}
+			}
+
+			// Processor P-1 turns totals into exclusive global offsets and
+			// broadcasts them (a rare bulk transfer: Radix is 0.01% bulk).
+			if me == P-1 {
+				var run uint64
+				offs := make([]uint64, radix)
+				for b := 0; b < radix; b++ {
+					t := totals[b]
+					offs[b] = run
+					run += t
+					p.ComputeUs(chainCostUs / 2)
+				}
+				for q := 0; q < P; q++ {
+					if q == me {
+						copy(p.Local(offArr[me], radix), offs)
+						p.Local(flagArr[me], 1)[0] = uint64(pass) + 1
+						continue
+					}
+					p.BulkPut(offArr[q], offs)
+					p.WriteWord(flagArr[q], uint64(pass)+1)
+				}
+			}
+			if P > 1 {
+				flag := p.Local(flagArr[me], 1)
+				want := uint64(pass) + 1
+				p.EP().WaitUntil(func() bool { return flag[0] >= want }, "radix: await offsets")
+			}
+			gOff := p.Local(offArr[me], radix)
+
+			// Phase 3: distribution. Every key goes to its exact global
+			// slot: gOff[digit] + (keys with this digit on lower procs) +
+			// local running rank.
+			p.EnterPhase("distribution")
+			rank := make([]uint64, radix)
+			for _, k := range keys {
+				b := (k >> shift) & mask
+				pos := int(gOff[b] + myStart[b] + rank[b])
+				rank[b]++
+				owner := apps.BlockOwner(pos, n, P)
+				qlo, _ := apps.BlockRange(owner, n, P)
+				p.WriteWord(destArr[owner].Add(pos-qlo), uint64(k))
+				p.ComputeUs(placeCostUs)
+			}
+			p.Barrier() // barrier implies all stores landed
+
+			dst := p.Local(destArr[me], mine)
+			for i := range keys {
+				keys[i] = uint32(dst[i])
+			}
+			p.Barrier()
+		}
+
+		p.EnterPhase("wrap-up")
+		if cfg.Verify {
+			// Sorted within the block, sorted across block boundaries, and
+			// key multiset conserved (count + sum).
+			for i := 1; i < len(keys); i++ {
+				if keys[i-1] > keys[i] {
+					verifyFailed = true
+				}
+			}
+			if mine > 0 {
+				p.WriteWord(boundArr[me], uint64(keys[0])+1) // +1: distinguish from empty
+			}
+			p.Barrier()
+			if mine > 0 && me < P-1 {
+				nb := p.ReadWord(boundArr[me+1])
+				if nb != 0 && uint64(keys[mine-1]) > nb-1 {
+					verifyFailed = true
+				}
+			}
+			var sum uint64
+			for _, k := range keys {
+				sum += uint64(k)
+			}
+			gotSum := p.AllReduceSum(sum)
+			gotCount := p.AllReduceSum(uint64(mine))
+			wantSum := p.AllReduceSum(localSum)
+			if me == 0 {
+				checkSum, checkCount = gotSum, gotCount
+				if gotSum != wantSum || gotCount != uint64(n) {
+					verifyFailed = true
+				}
+			}
+		}
+	}
+
+	if err := w.Run(body); err != nil {
+		return apps.Result{}, err
+	}
+	if cfg.Verify && verifyFailed {
+		return apps.Result{}, fmt.Errorf("radix: verification failed (sum=%d count=%d n=%d)", checkSum, checkCount, n)
+	}
+	res := apps.Finish(a, cfg, w, cfg.Verify)
+	for _, name := range w.PhaseNames() {
+		res.Extra["phase:"+name] = w.PhaseFraction(name)
+	}
+	return res, nil
+}
+
+var _ apps.App = App{}

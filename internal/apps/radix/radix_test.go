@@ -1,0 +1,102 @@
+package radix
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+func tinyCfg(procs int) apps.Config {
+	return apps.Config{
+		Procs:  procs,
+		Scale:  0.0005, // 8000 keys
+		Params: logp.NOW(),
+		Seed:   3,
+		Verify: true,
+	}
+}
+
+func TestSortsCorrectly(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		res, err := New().Run(tinyCfg(procs))
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		if !res.Verified {
+			t.Errorf("P=%d: not verified", procs)
+		}
+		if res.Elapsed == 0 {
+			t.Errorf("P=%d: zero elapsed", procs)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := New().Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New().Run(tinyCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.Summary.AvgMsgsPerProc != b.Summary.AvgMsgsPerProc {
+		t.Errorf("nondeterministic: %v/%v vs %v/%v", a.Elapsed, a.Summary.AvgMsgsPerProc, b.Elapsed, b.Summary.AvgMsgsPerProc)
+	}
+}
+
+func TestCommunicationShape(t *testing.T) {
+	// Radix is write-based with almost no bulk traffic and heavy
+	// short-message rates (paper Table 4: 0.00% reads, 0.01% bulk).
+	res, err := New().Run(tinyCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PercentReads > 5 {
+		t.Errorf("reads = %.2f%%, want ~0 (write-based app)", res.Summary.PercentReads)
+	}
+	if res.Summary.PercentBulk > 5 {
+		t.Errorf("bulk = %.2f%%, want ~0", res.Summary.PercentBulk)
+	}
+	if res.Summary.AvgMsgsPerProc < 100 {
+		t.Errorf("avg msgs/proc = %.0f, suspiciously low", res.Summary.AvgMsgsPerProc)
+	}
+}
+
+func TestOverheadSensitivity(t *testing.T) {
+	// The headline result: Radix slows dramatically under added overhead,
+	// and roughly linearly.
+	run := func(deltaO float64) sim.Time {
+		cfg := tinyCfg(4)
+		cfg.Params.DeltaO = sim.FromMicros(deltaO)
+		res, err := New().Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	base := run(0)
+	mid := run(25)
+	high := run(50)
+	if float64(mid)/float64(base) < 3 {
+		t.Errorf("Δo=25µs slowdown = %.1f, want > 3", float64(mid)/float64(base))
+	}
+	// Linearity: slope from 0→25 should roughly match 25→50.
+	s1 := float64(mid - base)
+	s2 := float64(high - mid)
+	if ratio := s2 / s1; ratio < 0.6 || ratio > 1.6 {
+		t.Errorf("non-linear overhead response: slopes ratio %.2f", ratio)
+	}
+}
+
+func TestInputDescAndNames(t *testing.T) {
+	a := New()
+	if a.Name() != "radix" || a.PaperName() != "Radix" {
+		t.Error("bad names")
+	}
+	if a.InputDesc(tinyCfg(4)) == "" || a.Description() == "" {
+		t.Error("empty descriptions")
+	}
+}

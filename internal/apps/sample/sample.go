@@ -1,0 +1,200 @@
+// Package sample implements the paper's Sample sort benchmark: a
+// probabilistic sort of 32-bit keys (paper input: 32 million). Each
+// processor contributes a random sample; p−1 "good" splitter values are
+// selected from the sorted sample and broadcast; every key is then sent to
+// the processor owning its splitter interval with one short write message;
+// finally each processor radix-sorts what it received.
+//
+// The interesting architectural property (Figure 4d's vertical bars) is
+// the potential imbalance of the all-to-all: splitters estimated from a
+// finite sample give some processors more keys than others. The key
+// distribution is a mixture of uniform background and a few dense
+// clusters, so the imbalance is visible as in the paper.
+package sample
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/am"
+	"repro/internal/apps"
+	"repro/internal/splitc"
+)
+
+// Compute-cost constants (simulated 167 MHz UltraSPARC).
+const (
+	partitionCostUs = 0.18 // per key: binary-search splitters, issue send
+	localSortCostUs = 0.25 // per received key: local radix sort share
+	sampleCostUs    = 0.30 // per sample key
+)
+
+const (
+	paperKeys    = 32_000_000
+	oversampling = 8 // samples per processor per splitter interval
+)
+
+// App is the Sample sort benchmark.
+type App struct{}
+
+// New returns the benchmark instance.
+func New() App { return App{} }
+
+func (App) Name() string        { return "sample" }
+func (App) PaperName() string   { return "Sample" }
+func (App) Description() string { return "Integer sample sort" }
+
+func keyCount(cfg apps.Config) int {
+	return apps.ScaleInt(paperKeys, cfg.Scale, 128*cfg.Procs)
+}
+
+func (a App) InputDesc(cfg apps.Config) string {
+	cfg = cfg.Norm()
+	return fmt.Sprintf("%d 32-bit keys, oversampling %d", keyCount(cfg), oversampling)
+}
+
+// genKey draws from the skewed mixture: 70% uniform, 30% from one of four
+// narrow clusters.
+func genKey(rng interface{ Intn(int) int }) uint32 {
+	if rng.Intn(10) < 7 {
+		return uint32(rng.Intn(1 << 30))
+	}
+	cluster := uint32(rng.Intn(4))
+	base := cluster * (1 << 28)
+	return base + uint32(rng.Intn(1<<22))
+}
+
+// Run executes the benchmark.
+func (a App) Run(cfg apps.Config) (apps.Result, error) {
+	cfg = cfg.Norm()
+	n := keyCount(cfg)
+	P := cfg.Procs
+	w, err := apps.NewWorld(cfg)
+	if err != nil {
+		return apps.Result{}, err
+	}
+
+	sampleArr := make([]splitc.GPtr, P) // proc 0's sample landing area
+	recvBufs := make([][]uint32, P)     // keys received per proc
+	firstKey := make([]splitc.GPtr, P)  // boundary check (verification)
+	verifyFailed := false
+
+	body := func(p *splitc.Proc) {
+		me := p.ID()
+		lo, hi := apps.BlockRange(me, n, P)
+		mine := hi - lo
+		rng := p.Rand()
+		keys := make([]uint32, mine)
+		var localSum uint64
+		for i := range keys {
+			keys[i] = genKey(rng)
+			localSum += uint64(keys[i])
+		}
+		recvBufs[me] = make([]uint32, 0, mine*2)
+		firstKey[me] = p.Alloc(1)
+		nSamples := oversampling * (P - 1)
+		if nSamples < 1 {
+			nSamples = 1
+		}
+		if me == 0 {
+			sampleArr[0] = p.Alloc(nSamples * P)
+		}
+		p.Barrier()
+
+		// Phase 1: sampling. Every processor writes its samples into
+		// processor 0's sample array (short writes), then processor 0
+		// sorts them and broadcasts p−1 splitters.
+		for s := 0; s < nSamples; s++ {
+			k := keys[rng.Intn(len(keys))]
+			p.WriteWord(sampleArr[0].Add(me*nSamples+s), uint64(k))
+			p.ComputeUs(sampleCostUs)
+		}
+		p.Barrier()
+
+		splitters := make([]uint32, P-1)
+		if me == 0 {
+			all := p.Local(sampleArr[0], nSamples*P)
+			samples := make([]uint32, len(all))
+			for i, v := range all {
+				samples[i] = uint32(v)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			p.ComputeUs(sampleCostUs * float64(len(samples)) * 2) // sort cost
+			for i := range splitters {
+				splitters[i] = samples[(i+1)*len(samples)/P]
+			}
+		}
+		for i := range splitters {
+			splitters[i] = uint32(p.Broadcast(0, uint64(splitters[i])))
+		}
+
+		// Phase 2: distribution. One short active message per key; the
+		// receiver's handler appends to its receive buffer — an
+		// unbalanced all-to-all when the splitters misjudge the density.
+		for i, k := range keys {
+			dst := sort.Search(len(splitters), func(j int) bool { return splitters[j] > k })
+			p.ComputeUs(partitionCostUs)
+			if dst == me {
+				recvBufs[me] = append(recvBufs[me], k)
+				continue
+			}
+			p.EP().Request(dst, am.ClassWrite, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
+				recvBufs[ep.ID()] = append(recvBufs[ep.ID()], uint32(a[0]))
+			}, am.Args{uint64(k)})
+			if i%2048 == 2047 {
+				p.Poll()
+			}
+		}
+		p.Barrier() // store-sync in the barrier implies delivery
+
+		// Phase 3: local radix sort of received keys.
+		got := recvBufs[me]
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		p.ComputeUs(localSortCostUs * float64(len(got)))
+		p.Barrier()
+
+		if cfg.Verify {
+			for i := 1; i < len(got); i++ {
+				if got[i-1] > got[i] {
+					verifyFailed = true
+				}
+			}
+			if len(got) > 0 {
+				p.WriteWord(firstKey[me], uint64(got[0])+1)
+			}
+			p.Barrier()
+			// Boundary order: my last key ≤ the next non-empty proc's first.
+			if len(got) > 0 {
+				for q := me + 1; q < P; q++ {
+					nb := p.ReadWord(firstKey[q])
+					if nb == 0 {
+						continue // empty processor
+					}
+					if uint64(got[len(got)-1]) > nb-1 {
+						verifyFailed = true
+					}
+					break
+				}
+			}
+			var sum uint64
+			for _, k := range got {
+				sum += uint64(k)
+			}
+			if p.AllReduceSum(sum) != p.AllReduceSum(localSum) {
+				verifyFailed = true
+			}
+			if p.AllReduceSum(uint64(len(got))) != uint64(n) {
+				verifyFailed = true
+			}
+		}
+	}
+
+	if err := w.Run(body); err != nil {
+		return apps.Result{}, err
+	}
+	if cfg.Verify && verifyFailed {
+		return apps.Result{}, fmt.Errorf("sample: verification failed")
+	}
+	return apps.Finish(a, cfg, w, cfg.Verify), nil
+}
+
+var _ apps.App = App{}

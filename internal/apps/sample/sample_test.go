@@ -1,0 +1,84 @@
+package sample
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+func tinyCfg(procs int) apps.Config {
+	return apps.Config{
+		Procs:  procs,
+		Scale:  0.0003, // ~9600 keys
+		Params: logp.NOW(),
+		Seed:   7,
+		Verify: true,
+	}
+}
+
+func TestSortsCorrectly(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		res, err := New().Run(tinyCfg(procs))
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		if !res.Verified {
+			t.Errorf("P=%d: unverified", procs)
+		}
+	}
+}
+
+func TestCommunicationShape(t *testing.T) {
+	res, err := New().Run(tinyCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PercentReads > 5 {
+		t.Errorf("reads = %.1f%%, want ~0", res.Summary.PercentReads)
+	}
+	if res.Summary.PercentBulk > 5 {
+		t.Errorf("bulk = %.1f%%, want ~0", res.Summary.PercentBulk)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	// The skewed key mixture should leave a visible receive imbalance:
+	// max messages per proc exceeds the average (Figure 4d).
+	res, err := New().Run(tinyCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxm := float64(res.Summary.MaxMsgsPerProc)
+	avg := res.Summary.AvgMsgsPerProc
+	if maxm < avg*1.02 {
+		t.Errorf("max/avg = %.3f, expected some imbalance", maxm/avg)
+	}
+}
+
+func TestGapSensitivity(t *testing.T) {
+	// Sample is one of the paper's four gap-sensitive frequent
+	// communicators.
+	run := func(dg float64) sim.Time {
+		cfg := tinyCfg(4)
+		cfg.Params.DeltaG = sim.FromMicros(dg)
+		res, err := New().Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	base, slow := run(0), run(50)
+	if float64(slow)/float64(base) < 2 {
+		t.Errorf("Δg=50µs slowdown = %.2f, want > 2", float64(slow)/float64(base))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, _ := New().Run(tinyCfg(4))
+	b, _ := New().Run(tinyCfg(4))
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("nondeterministic: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}

@@ -1,0 +1,53 @@
+// Package suite assembles the paper's ten-application benchmark suite in
+// Table 4 order.
+package suite
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/apps/barnes"
+	"repro/internal/apps/connect"
+	"repro/internal/apps/em3d"
+	"repro/internal/apps/murphi"
+	"repro/internal/apps/nowsort"
+	"repro/internal/apps/pray"
+	"repro/internal/apps/radb"
+	"repro/internal/apps/radix"
+	"repro/internal/apps/sample"
+)
+
+// All returns the full benchmark suite in the paper's Table 4 order.
+func All() []apps.App {
+	return []apps.App{
+		radix.New(),
+		em3d.NewWrite(),
+		em3d.NewRead(),
+		sample.New(),
+		barnes.New(),
+		pray.New(),
+		connect.New(),
+		murphi.New(),
+		nowsort.New(),
+		radb.New(),
+	}
+}
+
+// Names lists the suite's application names in order.
+func Names() []string {
+	var ns []string
+	for _, a := range All() {
+		ns = append(ns, a.Name())
+	}
+	return ns
+}
+
+// ByName finds an application by its short name.
+func ByName(name string) (apps.App, error) {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("suite: unknown application %q (have %v)", name, Names())
+}

@@ -1,0 +1,248 @@
+// Package calib implements the paper's calibration microbenchmarks
+// (§3.3, after Culler et al., "Assessing Fast Network Interfaces"): the
+// LogP signature — issue a burst of m request messages with a fixed
+// computational delay Δ between them, and read o_send, o_recv, g, and L
+// off the resulting curves — plus the bulk-burst benchmark that measures
+// the bulk-transfer bandwidth 1/G.
+package calib
+
+import (
+	"repro/internal/am"
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+// Point is one LogP-signature sample: the average initiation interval
+// seen by the issuing processor for a burst of Burst messages with Delta
+// of computation between consecutive sends.
+type Point struct {
+	Burst   int
+	Delta   sim.Time
+	PerMsg  sim.Time // average µs/message
+	Elapsed sim.Time
+}
+
+// Signature measures the average initiation interval for each
+// (burst, delta) combination, reproducing Figure 3's curves. The clock
+// stops when the last message has been issued by the processor,
+// regardless of in-flight requests or replies — the paper's convention.
+func Signature(params logp.Params, bursts []int, deltas []sim.Time) ([]Point, error) {
+	var points []Point
+	for _, delta := range deltas {
+		for _, m := range bursts {
+			elapsed, err := burstTime(params, m, delta)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, Point{
+				Burst:   m,
+				Delta:   delta,
+				PerMsg:  elapsed / sim.Time(m),
+				Elapsed: elapsed,
+			})
+		}
+	}
+	return points, nil
+}
+
+// burstTime measures one burst on a fresh two-node machine.
+func burstTime(params logp.Params, m int, delta sim.Time) (sim.Time, error) {
+	eng := sim.New(sim.Config{Procs: 2})
+	mach, err := am.NewMachine(eng, params)
+	if err != nil {
+		return 0, err
+	}
+	var elapsed sim.Time
+	served := 0
+	replies := 0
+	err = eng.RunEach([]func(*sim.Proc){
+		func(p *sim.Proc) {
+			ep := mach.Endpoint(0)
+			start := p.Clock()
+			for i := 0; i < m; i++ {
+				if i > 0 && delta > 0 {
+					ep.Compute(delta)
+				}
+				ep.Request(1, am.ClassWrite, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
+					served++
+					ep.Reply(tok, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
+						replies++
+					}, am.Args{})
+				}, am.Args{})
+			}
+			elapsed = p.Clock() - start
+			// Drain so the run terminates cleanly; not timed.
+			ep.WaitUntil(func() bool { return replies == m }, "calib: drain")
+		},
+		func(p *sim.Proc) {
+			ep := mach.Endpoint(1)
+			ep.WaitUntil(func() bool { return served == m }, "calib: echo server")
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// RoundTrip measures one blocking request/reply round trip.
+func RoundTrip(params logp.Params) (sim.Time, error) {
+	eng := sim.New(sim.Config{Procs: 2})
+	mach, err := am.NewMachine(eng, params)
+	if err != nil {
+		return 0, err
+	}
+	var rtt sim.Time
+	served := false
+	got := false
+	err = eng.RunEach([]func(*sim.Proc){
+		func(p *sim.Proc) {
+			ep := mach.Endpoint(0)
+			start := p.Clock()
+			ep.Request(1, am.ClassRead, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
+				served = true
+				ep.Reply(tok, func(ep *am.Endpoint, tok *am.Token, a am.Args) { got = true }, am.Args{})
+			}, am.Args{})
+			ep.WaitUntil(func() bool { return got }, "calib: rtt")
+			rtt = p.Clock() - start
+		},
+		func(p *sim.Proc) {
+			mach.Endpoint(1).WaitUntil(func() bool { return served }, "calib: rtt server")
+		},
+	})
+	return rtt, err
+}
+
+// Measured is the outcome of a full calibration: the effective LogGP
+// characteristics of a machine as its applications experience them.
+type Measured struct {
+	OSend   sim.Time // issue cost of a single message
+	ORecv   sim.Time // receive-side processor cost
+	O       sim.Time // (OSend+ORecv)/2, the paper's reported o
+	G       sim.Time // steady-state initiation interval (gap)
+	L       sim.Time // RTT/2 − 2·o
+	RTT     sim.Time
+	BulkMBs float64 // bulk-transfer bandwidth, 1/G_bulk
+}
+
+// steadyInterval measures the steady-state initiation interval as the
+// slope of elapsed time between a medium and a long burst, cancelling the
+// start-up transient (the first window of messages goes out before any
+// replies return, so a plain average under-reads the gap — the paper's
+// calibrated g is "somewhat lower than intended" for the same reason).
+func steadyInterval(params logp.Params, delta sim.Time) (sim.Time, error) {
+	const m1, m2 = 32, 96
+	e1, err := burstTime(params, m1, delta)
+	if err != nil {
+		return 0, err
+	}
+	e2, err := burstTime(params, m2, delta)
+	if err != nil {
+		return 0, err
+	}
+	return (e2 - e1) / (m2 - m1), nil
+}
+
+// bigDelta is "sufficiently large Δ" such that the processor, not the
+// network, is the bottleneck (the paper uses the flat region of Figure 3).
+func bigDelta(params logp.Params) sim.Time {
+	d := 4 * (params.EffGap() + params.EffLatency())
+	if min := sim.FromMicros(50); d < min {
+		d = min
+	}
+	return d
+}
+
+// Calibrate runs the full microbenchmark set against a machine.
+func Calibrate(params logp.Params) (Measured, error) {
+	var res Measured
+
+	// Send overhead: the issue cost of one message.
+	single, err := burstTime(params, 1, 0)
+	if err != nil {
+		return res, err
+	}
+	res.OSend = single
+
+	// Steady-state interval with Δ=0: the effective gap.
+	res.G, err = steadyInterval(params, 0)
+	if err != nil {
+		return res, err
+	}
+
+	// Large Δ: the steady-state interval is Δ + o_send + o_recv (the
+	// processor is the bottleneck), which isolates o_recv.
+	delta := bigDelta(params)
+	perMsg, err := steadyInterval(params, delta)
+	if err != nil {
+		return res, err
+	}
+	res.ORecv = perMsg - delta - res.OSend
+	if res.ORecv < 0 {
+		res.ORecv = 0
+	}
+	res.O = (res.OSend + res.ORecv) / 2
+
+	// Round trip → latency.
+	rtt, err := RoundTrip(params)
+	if err != nil {
+		return res, err
+	}
+	res.RTT = rtt
+	res.L = rtt/2 - 2*res.O
+
+	// Bulk bandwidth: the per-byte Gap G is the slope of the steady-state
+	// fragment arrival interval against the fragment size (differencing
+	// two sizes cancels the per-fragment gap, just as the burst slope
+	// cancelled the window fill). 1/G is the paper's bulk bandwidth.
+	s1, s2 := params.FragmentSize/2, params.FragmentSize
+	t1, err := bulkInterval(params, s1)
+	if err != nil {
+		return res, err
+	}
+	t2, err := bulkInterval(params, s2)
+	if err != nil {
+		return res, err
+	}
+	if t2 > t1 {
+		gPerByte := float64(t2-t1) / float64(s2-s1) // ns per byte
+		res.BulkMBs = 1e3 / gPerByte                // decimal MB/s, matching logp.Params
+	}
+	return res, nil
+}
+
+// bulkInterval measures the steady-state arrival interval for a burst of
+// fixed-size bulk stores.
+func bulkInterval(params logp.Params, size int) (sim.Time, error) {
+	const count = 32
+	eng := sim.New(sim.Config{Procs: 2})
+	mach, err := am.NewMachine(eng, params)
+	if err != nil {
+		return 0, err
+	}
+	received := 0
+	var first, last sim.Time
+	err = eng.RunEach([]func(*sim.Proc){
+		func(p *sim.Proc) {
+			ep := mach.Endpoint(0)
+			buf := make([]byte, size)
+			for i := 0; i < count; i++ {
+				ep.Store(1, am.ClassWrite, func(ep *am.Endpoint, tok *am.Token, a am.Args, d []byte) {
+					received++
+					if received == 1 {
+						first = ep.Now()
+					}
+					last = ep.Now()
+				}, am.Args{}, buf)
+			}
+			ep.WaitUntil(func() bool { return received == count }, "calib: bulk drain")
+		},
+		func(p *sim.Proc) {
+			mach.Endpoint(1).WaitUntil(func() bool { return received == count }, "calib: bulk sink")
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return (last - first) / (count - 1), nil
+}

@@ -1,0 +1,139 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+func TestBaselineCalibration(t *testing.T) {
+	// Calibrating the unmodified NOW must read back Table 1's numbers.
+	m, err := Calibrate(logp.NOW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.OSend.Micros(); math.Abs(got-1.8) > 0.1 {
+		t.Errorf("o_send = %.2f µs, want 1.8", got)
+	}
+	if got := m.ORecv.Micros(); math.Abs(got-4.0) > 0.3 {
+		t.Errorf("o_recv = %.2f µs, want 4.0", got)
+	}
+	if got := m.O.Micros(); math.Abs(got-2.9) > 0.2 {
+		t.Errorf("o = %.2f µs, want 2.9", got)
+	}
+	if got := m.G.Micros(); math.Abs(got-5.8) > 0.5 {
+		t.Errorf("g = %.2f µs, want 5.8", got)
+	}
+	if got := m.L.Micros(); math.Abs(got-5.0) > 0.5 {
+		t.Errorf("L = %.2f µs, want 5.0", got)
+	}
+	if got := m.RTT.Micros(); math.Abs(got-21.6) > 0.2 {
+		t.Errorf("RTT = %.2f µs, want 21.6 (paper: 21)", got)
+	}
+	if m.BulkMBs < 37 || m.BulkMBs > 38.5 {
+		t.Errorf("bulk bandwidth = %.1f MB/s, want ≈38", m.BulkMBs)
+	}
+}
+
+func TestOverheadCalibrationIndependence(t *testing.T) {
+	// Table 2 left block: raising o raises the effective g (the processor
+	// becomes the bottleneck) but leaves L unchanged.
+	params := logp.NOW()
+	params.DeltaO = sim.FromMicros(100)
+	m, err := Calibrate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.O.Micros(); math.Abs(got-102.9) > 1 {
+		t.Errorf("o = %.1f µs, want 102.9", got)
+	}
+	// Paper observes g=205.9 at o=103 (o_send+o_recv dominates).
+	if got := m.G.Micros(); math.Abs(got-205.8) > 3 {
+		t.Errorf("g = %.1f µs, want ≈205.9", got)
+	}
+	if got := m.L.Micros(); math.Abs(got-5.0) > 1.5 {
+		t.Errorf("L = %.1f µs, want ≈5 (independent of o)", got)
+	}
+}
+
+func TestGapCalibrationIndependence(t *testing.T) {
+	// Table 2 middle block: raising g must not move o or L.
+	params := logp.NOW()
+	params.DeltaG = sim.FromMicros(99.2) // desired g = 105
+	m, err := Calibrate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.G.Micros(); math.Abs(got-105) > 3 {
+		t.Errorf("g = %.1f µs, want ≈105", got)
+	}
+	if got := m.O.Micros(); math.Abs(got-2.9) > 0.3 {
+		t.Errorf("o = %.2f µs, want 2.9 (independent of g)", got)
+	}
+	if got := m.L.Micros(); math.Abs(got-5.0) > 1 {
+		t.Errorf("L = %.1f µs, want ≈5 (independent of g)", got)
+	}
+}
+
+func TestLatencyCalibrationCapacityArtifact(t *testing.T) {
+	// Table 2 right block: raising L leaves o untouched but drives the
+	// effective g up to RTT/W — the fixed-window capacity artifact the
+	// paper documents (observed g=27.7 at L=105.5).
+	params := logp.NOW()
+	params.DeltaL = sim.FromMicros(100.5)
+	m, err := Calibrate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.O.Micros(); math.Abs(got-2.9) > 0.3 {
+		t.Errorf("o = %.2f µs, want 2.9 (independent of L)", got)
+	}
+	if got := m.L.Micros(); math.Abs(got-105.5) > 2 {
+		t.Errorf("L = %.1f µs, want ≈105.5", got)
+	}
+	if got := m.G.Micros(); got < 24 || got > 32 {
+		t.Errorf("effective g = %.1f µs, want ≈27.7 (capacity window)", got)
+	}
+}
+
+func TestSignatureShape(t *testing.T) {
+	// Figure 3's qualitative shape: short bursts show o_send; long Δ=0
+	// bursts approach g; the Δ=10µs curve exceeds the Δ=0 curve.
+	pts, err := Signature(logp.NOW(), []int{1, 2, 4, 8, 16, 32, 64}, []sim.Time{0, sim.FromMicros(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[[2]int64]sim.Time{}
+	for _, p := range pts {
+		byKey[[2]int64{int64(p.Burst), int64(p.Delta)}] = p.PerMsg
+	}
+	if got := byKey[[2]int64{1, 0}].Micros(); math.Abs(got-1.8) > 0.1 {
+		t.Errorf("burst-1 interval = %.2f, want o_send=1.8", got)
+	}
+	long := byKey[[2]int64{64, 0}].Micros()
+	if math.Abs(long-5.8) > 0.6 {
+		t.Errorf("burst-64 interval = %.2f, want ≈g=5.8", long)
+	}
+	d10 := byKey[[2]int64{64, int64(sim.FromMicros(10))}].Micros()
+	if d10 <= long {
+		t.Errorf("Δ=10 steady state %.2f not above Δ=0 %.2f", d10, long)
+	}
+	// With Δ=10 > g the processor is the bottleneck: interval ≈ os+or+Δ.
+	if math.Abs(d10-15.8) > 1.0 {
+		t.Errorf("Δ=10 steady state = %.2f, want ≈15.8 (os+or+Δ)", d10)
+	}
+}
+
+func TestBulkBandwidthRespondsToCap(t *testing.T) {
+	params := logp.NOW()
+	params.BulkBandwidthMBs = 10
+	m, err := Calibrate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BulkMBs > 10.5 || m.BulkMBs < 9 {
+		t.Errorf("capped bulk bandwidth = %.1f MB/s, want ≈10", m.BulkMBs)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/radix"
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+func TestKnobApplyIndependence(t *testing.T) {
+	base := logp.NOW()
+	for _, k := range []Knob{KnobO, KnobG, KnobL} {
+		p := k.Apply(base, 50)
+		changed := 0
+		if p.DeltaO != base.DeltaO {
+			changed++
+		}
+		if p.DeltaG != base.DeltaG {
+			changed++
+		}
+		if p.DeltaL != base.DeltaL {
+			changed++
+		}
+		if p.BulkBandwidthMBs != base.BulkBandwidthMBs {
+			changed++
+		}
+		if changed != 1 {
+			t.Errorf("%v moved %d parameters, want exactly 1", k, changed)
+		}
+	}
+	p := KnobBW.Apply(base, 10)
+	if p.BulkBandwidthMBs != 10 || p.DeltaO != 0 || p.DeltaG != 0 || p.DeltaL != 0 {
+		t.Errorf("KnobBW moved the wrong fields: %+v", p)
+	}
+}
+
+func TestKnobStrings(t *testing.T) {
+	names := map[Knob]string{KnobO: "overhead", KnobG: "gap", KnobL: "latency", KnobBW: "bulk-bandwidth"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %s, want %s", k, k.String(), want)
+		}
+	}
+	if Knob(99).String() == "" {
+		t.Error("unknown knob should still render")
+	}
+}
+
+func TestSweepMonotoneOverhead(t *testing.T) {
+	cfg := apps.Config{Procs: 4, Scale: 0.0003, Seed: 1}
+	base, pts, err := Sweep(radix.New(), cfg, KnobO, []float64{0, 10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Elapsed == 0 {
+		t.Fatal("zero baseline")
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Slowdown < 0.99 || pts[0].Slowdown > 1.01 {
+		t.Errorf("Δo=0 slowdown = %v, want 1", pts[0].Slowdown)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Slowdown <= pts[i-1].Slowdown {
+			t.Errorf("slowdown not increasing: %v then %v", pts[i-1].Slowdown, pts[i].Slowdown)
+		}
+	}
+}
+
+func TestRunAtLivelockDetection(t *testing.T) {
+	// A baseline of ~1ns with a 300x factor bounds any real run, so the
+	// time limit must trip and be reported as livelock, not error.
+	pt, err := RunAt(radix.New(), apps.Config{Procs: 4, Scale: 0.0003, Seed: 1},
+		KnobO, 0, sim.Time(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Livelocked {
+		t.Error("expected livelock with a 300ns budget")
+	}
+}

@@ -1,0 +1,103 @@
+// Package disk models the streaming disks NOW-sort reads from and writes
+// to: a fixed-bandwidth sequential device (the paper's nodes have two
+// 5.5 MB/s disks, one used for reading and one for writing during the
+// communication phase).
+//
+// The model is a simple busy-until resource: each transfer occupies the
+// disk for size/bandwidth (plus a per-operation positioning overhead) and
+// completes at a deterministic virtual time. Callers either block until
+// completion (Read/Write) or overlap the wait with communication
+// (StartRead + WaitRead), which is exactly how NOW-sort hides network time
+// under disk time.
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Disk is one streaming device attached to a processor.
+type Disk struct {
+	proc *sim.Proc
+	// bandwidth in bytes per sim.Second.
+	bytesPerSec float64
+	// seek is the fixed per-operation positioning cost.
+	seek sim.Time
+	// freeAt is when the device finishes its current transfer.
+	freeAt sim.Time
+
+	// accounting
+	bytesRead    int64
+	bytesWritten int64
+	busy         sim.Time
+}
+
+// MBs constructs a bandwidth value in megabytes per second.
+const MB = 1 << 20
+
+// New attaches a disk with the given bandwidth (MB/s) and per-operation
+// seek time to a processor.
+func New(p *sim.Proc, mbPerSec float64, seek sim.Time) *Disk {
+	if mbPerSec <= 0 {
+		panic(fmt.Sprintf("disk: bandwidth must be positive, got %v", mbPerSec))
+	}
+	return &Disk{proc: p, bytesPerSec: mbPerSec * MB, seek: seek}
+}
+
+// transferTime is the device time to move n bytes.
+func (d *Disk) transferTime(n int) sim.Time {
+	return d.seek + sim.Time(float64(n)/d.bytesPerSec*float64(sim.Second))
+}
+
+// start reserves the device for an n-byte transfer and returns the
+// completion time.
+func (d *Disk) start(n int) sim.Time {
+	begin := d.proc.Clock()
+	if d.freeAt > begin {
+		begin = d.freeAt
+	}
+	t := d.transferTime(n)
+	d.freeAt = begin + t
+	d.busy += t
+	return d.freeAt
+}
+
+// StartRead begins an asynchronous n-byte sequential read and returns its
+// completion time; pass it to Wait (or compare against the clock) to
+// consume the data. Issue cost on the host is negligible (DMA).
+func (d *Disk) StartRead(n int) sim.Time {
+	d.bytesRead += int64(n)
+	return d.start(n)
+}
+
+// StartWrite begins an asynchronous n-byte sequential write.
+func (d *Disk) StartWrite(n int) sim.Time {
+	d.bytesWritten += int64(n)
+	return d.start(n)
+}
+
+// Wait blocks the owning processor until the transfer completing at t is
+// done. The processor sleeps (it is free to have polled or computed before
+// calling Wait — that is how transfers overlap with communication).
+func (d *Disk) Wait(t sim.Time) {
+	d.proc.SleepUntil(t)
+}
+
+// Read performs a blocking n-byte sequential read.
+func (d *Disk) Read(n int) { d.Wait(d.StartRead(n)) }
+
+// Write performs a blocking n-byte sequential write.
+func (d *Disk) Write(n int) { d.Wait(d.StartWrite(n)) }
+
+// BytesRead reports total bytes read.
+func (d *Disk) BytesRead() int64 { return d.bytesRead }
+
+// BytesWritten reports total bytes written.
+func (d *Disk) BytesWritten() int64 { return d.bytesWritten }
+
+// BusyTime reports cumulative device-busy virtual time.
+func (d *Disk) BusyTime() sim.Time { return d.busy }
+
+// Bandwidth reports the configured bandwidth in MB/s.
+func (d *Disk) Bandwidth() float64 { return d.bytesPerSec / MB }

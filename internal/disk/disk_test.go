@@ -1,0 +1,131 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestBlockingReadTiming(t *testing.T) {
+	e := sim.New(sim.Config{Procs: 1})
+	err := e.Run(func(p *sim.Proc) {
+		d := New(p, 5.5, 0)
+		start := p.Clock()
+		d.Read(5.5 * MB / 2) // half a second of data
+		elapsed := p.Clock() - start
+		want := sim.Second / 2
+		diff := elapsed - want
+		if diff < -sim.Microsecond || diff > sim.Microsecond {
+			t.Errorf("read took %v, want ≈%v", elapsed, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeekCost(t *testing.T) {
+	e := sim.New(sim.Config{Procs: 1})
+	err := e.Run(func(p *sim.Proc) {
+		d := New(p, 100, 10*sim.Millisecond)
+		start := p.Clock()
+		d.Read(0)
+		if got := p.Clock() - start; got != 10*sim.Millisecond {
+			t.Errorf("zero-byte read took %v, want the 10ms seek", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapWithCompute(t *testing.T) {
+	// Starting a read, computing, then waiting must cost max(read, compute).
+	e := sim.New(sim.Config{Procs: 1})
+	err := e.Run(func(p *sim.Proc) {
+		d := New(p, 1, 0) // 1 MB/s
+		start := p.Clock()
+		done := d.StartRead(1 * MB) // 1 second
+		p.Advance(300 * sim.Millisecond)
+		d.Wait(done)
+		if got := p.Clock() - start; got != sim.Second {
+			t.Errorf("overlapped read+compute took %v, want 1s", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackToBackTransfersQueue(t *testing.T) {
+	e := sim.New(sim.Config{Procs: 1})
+	err := e.Run(func(p *sim.Proc) {
+		d := New(p, 1, 0)
+		t1 := d.StartRead(1 * MB)
+		t2 := d.StartRead(1 * MB)
+		if t2-t1 != sim.Second {
+			t.Errorf("second transfer completes %v after first, want 1s", t2-t1)
+		}
+		d.Wait(t2)
+		if got := d.BytesRead(); got != 2*MB {
+			t.Errorf("bytes read = %d", got)
+		}
+		if got := d.BusyTime(); got != 2*sim.Second {
+			t.Errorf("busy = %v, want 2s", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccountingAndBandwidth(t *testing.T) {
+	e := sim.New(sim.Config{Procs: 1})
+	err := e.Run(func(p *sim.Proc) {
+		d := New(p, 5.5, 0)
+		if d.Bandwidth() != 5.5 {
+			t.Errorf("bandwidth = %v", d.Bandwidth())
+		}
+		d.Write(1000)
+		if d.BytesWritten() != 1000 {
+			t.Errorf("bytes written = %d", d.BytesWritten())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadBandwidthPanics(t *testing.T) {
+	e := sim.New(sim.Config{Procs: 1})
+	err := e.Run(func(p *sim.Proc) { New(p, 0, 0) })
+	if err == nil {
+		t.Fatal("expected panic for zero bandwidth")
+	}
+}
+
+// Property: total time for a sequence of blocking reads equals the sum of
+// their transfer times (a dedicated sequential device never overlaps).
+func TestSequentialAdditivityProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) > 20 {
+			sizes = sizes[:20]
+		}
+		var elapsed, want sim.Time
+		e := sim.New(sim.Config{Procs: 1})
+		err := e.Run(func(p *sim.Proc) {
+			d := New(p, 10, sim.Microsecond)
+			start := p.Clock()
+			for _, s := range sizes {
+				want += d.transferTime(int(s))
+				d.Read(int(s))
+			}
+			elapsed = p.Clock() - start
+		})
+		return err == nil && elapsed == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package exp is the reproduction harness: one experiment per table and
+// figure of the paper's evaluation, each regenerating the corresponding
+// rows or curve series on the simulated cluster.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/logp"
+)
+
+// Options parameterizes a harness run.
+type Options struct {
+	// Procs is the cluster size for single-size experiments (default 32,
+	// the paper's main configuration).
+	Procs int
+	// Scale is the application input scale (default 1/256 for sweeps;
+	// slowdown is a ratio, so shape survives scaling — see DESIGN.md).
+	Scale float64
+	// Seed fixes all pseudo-randomness.
+	Seed int64
+	// Apps restricts application experiments to a subset (nil = all ten).
+	Apps []string
+	// Quick trims sweep points for smoke runs.
+	Quick bool
+	// Verify runs each application's self-check during baseline runs.
+	Verify bool
+}
+
+// Norm fills in defaults.
+func (o Options) Norm() Options {
+	if o.Procs == 0 {
+		o.Procs = 32
+	}
+	if o.Scale == 0 {
+		o.Scale = 1.0 / 256
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Text renders the table with aligned columns.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Columns)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Table, error)
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Baseline LogGP parameters (NOW vs Paragon vs Meiko)", Table1},
+		{"fig3", "LogP signature: µs/message vs burst size", Fig3},
+		{"table2", "Calibration: desired vs observed o, g, L independence", Table2},
+		{"table3", "Applications, input sets, and 16/32-node base run times", Table3},
+		{"fig4", "Communication balance matrices", Fig4},
+		{"table4", "Communication summary per application", Table4},
+		{"fig5a", "Sensitivity to overhead, 16 nodes (slowdown)", Fig5a},
+		{"fig5b", "Sensitivity to overhead, 32 nodes (slowdown)", Fig5b},
+		{"table5", "Measured vs predicted run times varying overhead", Table5},
+		{"fig6", "Sensitivity to gap (slowdown)", Fig6},
+		{"table6", "Measured vs predicted run times varying gap", Table6},
+		{"fig7", "Sensitivity to latency (slowdown)", Fig7},
+		{"fig8", "Sensitivity to bulk gap (slowdown vs bandwidth)", Fig8},
+		{"ext-burst", "Extension: burstiness and the gap models", ExtBurst},
+		{"ext-tradeoff", "Extension: processor vs network investment", ExtTradeoff},
+		{"ext-phases", "Extension: Radix phase shares under overhead", ExtPhases},
+	}
+}
+
+// ByID locates an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %v)", id, ids)
+}
+
+// baseParams is the machine every experiment starts from.
+func baseParams() logp.Params { return logp.NOW() }
+
+// appConfig builds the application config for an options set.
+func (o Options) appConfig(procs int) apps.Config {
+	return apps.Config{
+		Procs:  procs,
+		Scale:  o.Scale,
+		Params: baseParams(),
+		Seed:   o.Seed,
+		Verify: o.Verify,
+	}
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// secs renders virtual seconds with adaptive precision.
+func secs(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}

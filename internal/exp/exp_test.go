@@ -1,0 +1,239 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps harness tests fast: few apps, tiny scale, trimmed sweeps.
+func quickOpts() Options {
+	return Options{
+		Procs: 8,
+		Scale: 1.0 / 2048,
+		Seed:  1,
+		Quick: true,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig3", "table2", "table3", "fig4", "table4",
+		"fig5a", "fig5b", "table5", "fig6", "table6", "fig7", "fig8",
+		"ext-burst", "ext-tradeoff", "ext-phases"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+	}
+	if _, err := ByID("fig5b"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab, err := Table1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "2.9" {
+		t.Errorf("NOW o = %s, want 2.9", tab.Rows[0][1])
+	}
+	if tab.Rows[1][1] != "1.8" {
+		t.Errorf("Paragon o = %s, want 1.8", tab.Rows[1][1])
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	tab, err := Table2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 per varied parameter)", len(tab.Rows))
+	}
+	// The o=102.9 row: observed o must track desired, L must stay ≈5.
+	for _, row := range tab.Rows {
+		if row[0] == "o" && row[1] == "102.9" {
+			if row[2] != "102.9" {
+				t.Errorf("observed o = %s, want 102.9", row[2])
+			}
+			l, _ := strconv.ParseFloat(row[4], 64)
+			if l < 4 || l > 6.5 {
+				t.Errorf("L = %s under o sweep, want ≈5", row[4])
+			}
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab, err := Fig3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tab.Rows[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	v1, _ := strconv.ParseFloat(first[1], 64)
+	vN, _ := strconv.ParseFloat(last[1], 64)
+	if v1 >= vN {
+		t.Errorf("Δ=0 curve should rise from o_send (%.2f) toward g (%.2f)", v1, vN)
+	}
+}
+
+func TestSmallSuiteExperiments(t *testing.T) {
+	o := quickOpts()
+	o.Apps = []string{"radix", "em3d-read", "nowsort"}
+	for _, id := range []string{"table3", "table4", "fig4"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := e.Run(o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", id)
+		}
+		if !strings.Contains(tab.Text(), "Radix") {
+			t.Errorf("%s: missing Radix row", id)
+		}
+	}
+}
+
+func TestOverheadSweepQuick(t *testing.T) {
+	o := quickOpts()
+	o.Apps = []string{"radix", "nowsort"}
+	tab, err := Fig5b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: Δo, Radix, NOW-sort. First row is Δo=0 → slowdown 1.00.
+	if tab.Rows[0][1] != "1.00" {
+		t.Errorf("baseline slowdown = %s, want 1.00", tab.Rows[0][1])
+	}
+	lastRadix, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][1], 64)
+	lastSort, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][2], 64)
+	if lastRadix < 3 {
+		t.Errorf("Radix slowdown at Δo=100 = %.2f, want large", lastRadix)
+	}
+	if lastSort > lastRadix {
+		t.Errorf("NOW-sort (%.2f) more o-sensitive than Radix (%.2f)", lastSort, lastRadix)
+	}
+}
+
+func TestPredictedTableQuick(t *testing.T) {
+	o := quickOpts()
+	o.Apps = []string{"sample"}
+	tab, err := Table5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The overhead model should land within 2x of the measurement for the
+	// frequently communicating Sample (the paper finds it accurate).
+	last := tab.Rows[len(tab.Rows)-1]
+	meas, _ := strconv.ParseFloat(last[1], 64)
+	pred, _ := strconv.ParseFloat(last[2], 64)
+	if meas <= 0 || pred <= 0 {
+		t.Fatalf("bad row %v", last)
+	}
+	ratio := meas / pred
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("Sample measured/predicted = %.2f at Δo=100, want within 2x", ratio)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "x",
+		Title:   "t",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2,3"}},
+		Notes:   []string{"n"},
+	}
+	txt := tab.Text()
+	if !strings.Contains(txt, "== x: t ==") || !strings.Contains(txt, "note: n") {
+		t.Errorf("Text() = %q", txt)
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"2,3"`) {
+		t.Errorf("CSV() should quote commas: %q", csv)
+	}
+}
+
+func TestExtBurstQuick(t *testing.T) {
+	o := quickOpts()
+	o.Apps = []string{"radix", "nowsort"}
+	tab, err := ExtBurst(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Radix must look bursty; NOW-sort (disk-paced) must not.
+	radixBurst := strings.TrimSuffix(tab.Rows[0][2], "%")
+	sortBurst := strings.TrimSuffix(tab.Rows[1][2], "%")
+	rb, _ := strconv.ParseFloat(radixBurst, 64)
+	sb, _ := strconv.ParseFloat(sortBurst, 64)
+	if rb < 50 {
+		t.Errorf("radix burst fraction = %v%%, want high", rb)
+	}
+	if sb >= rb {
+		t.Errorf("nowsort burstier (%v%%) than radix (%v%%)", sb, rb)
+	}
+}
+
+func TestExtTradeoffQuick(t *testing.T) {
+	o := quickOpts()
+	o.Apps = []string{"em3d-write", "nowsort"}
+	tab, err := ExtTradeoff(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string][]string{}
+	for _, row := range tab.Rows {
+		byApp[row[0]] = row
+	}
+	if byApp["EM3D(write)"][4] != "network" {
+		t.Errorf("EM3D(write) winner = %s, want network", byApp["EM3D(write)"][4])
+	}
+	if byApp["NOW-sort"][4] != "CPU" {
+		t.Errorf("NOW-sort winner = %s, want CPU (disk/compute bound)", byApp["NOW-sort"][4])
+	}
+}
+
+func TestExtPhasesQuick(t *testing.T) {
+	o := quickOpts()
+	tab, err := ExtPhases(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Histogram share must grow with overhead at fixed P.
+	share := func(row []string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(row[3], "%"), 64)
+		return v
+	}
+	// Rows come in (procs, dO) blocks of 3: find P=16 dO=0 and dO=100.
+	var base16, high16 float64
+	for _, row := range tab.Rows {
+		if row[1] == "16" && row[0] == "0.0" {
+			base16 = share(row)
+		}
+		if row[1] == "16" && row[0] == "100.0" {
+			high16 = share(row)
+		}
+	}
+	if high16 <= base16 {
+		t.Errorf("histogram share did not grow with overhead: %v%% -> %v%%", base16, high16)
+	}
+}

@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Paper sweep points (the added amount, in µs, or the bandwidth cap in
+// MB/s for the bulk-gap sweep).
+var (
+	overheadPoints = []float64{0, 1, 2, 4, 5, 10, 20, 50, 100}
+	gapPoints      = []float64{0, 2.2, 4.2, 9.2, 24.2, 49.2, 74.2, 99.2}
+	latencyPoints  = []float64{0, 2.5, 5, 10, 25, 50, 75, 100}
+	bulkBWPoints   = []float64{38, 35, 30, 25, 20, 15, 10, 5, 2, 1}
+)
+
+func quickTrim(points []float64) []float64 {
+	return []float64{points[0], points[len(points)/2], points[len(points)-1]}
+}
+
+// sweepCache memoizes swept runs across experiments (Table 5 reuses
+// Figure 5b's runs, Table 6 reuses Figure 6's).
+var sweepCache = map[string]core.Point{}
+
+// sweepRun measures one app at one design point, memoized.
+func sweepRun(a apps.App, o Options, procs int, k core.Knob, v float64, base apps.Result) (core.Point, error) {
+	key := fmt.Sprintf("%s/%d/%g/%d/%d/%g", a.Name(), procs, o.Scale, o.Seed, k, v)
+	if pt, ok := sweepCache[key]; ok {
+		return pt, nil
+	}
+	pt, err := core.RunAt(a, o.appConfig(procs), k, v, base.Elapsed)
+	if err != nil {
+		return pt, err
+	}
+	sweepCache[key] = pt
+	return pt, nil
+}
+
+// slowdownTable runs the suite across a sweep and renders slowdowns.
+func slowdownTable(id, title, unit string, o Options, procs int, k core.Knob, points []float64) (*Table, error) {
+	o = o.Norm()
+	if o.Quick {
+		points = quickTrim(points)
+	}
+	sel, err := selectedApps(o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: id, Title: title}
+	t.Columns = []string{unit}
+	for _, a := range sel {
+		t.Columns = append(t.Columns, a.PaperName())
+	}
+	baselines := make([]apps.Result, len(sel))
+	for i, a := range sel {
+		baselines[i], err = baselineRun(a, o.appConfig(procs))
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", a.Name(), err)
+		}
+	}
+	for _, v := range points {
+		row := []string{f1(v)}
+		for i, a := range sel {
+			pt, err := sweepRun(a, o, procs, k, v, baselines[i])
+			if err != nil {
+				return nil, err
+			}
+			if pt.Livelocked {
+				row = append(row, "N/A")
+				continue
+			}
+			row = append(row, f2(pt.Slowdown))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("slowdown relative to the unmodified machine; %d nodes, scale %.4g", procs, o.Scale),
+		"N/A: exceeded the livelock time limit (the paper's Barnes behavior)")
+	return t, nil
+}
+
+// Fig5a is the overhead sensitivity sweep on 16 nodes.
+func Fig5a(o Options) (*Table, error) {
+	return slowdownTable("fig5a", "Slowdown vs added overhead (16 nodes)", "Δo(µs)", o, 16, core.KnobO, overheadPoints)
+}
+
+// Fig5b is the overhead sensitivity sweep on 32 nodes.
+func Fig5b(o Options) (*Table, error) {
+	o = o.Norm()
+	return slowdownTable("fig5b", "Slowdown vs added overhead (32 nodes)", "Δo(µs)", o, o.Procs, core.KnobO, overheadPoints)
+}
+
+// Fig6 is the gap sensitivity sweep.
+func Fig6(o Options) (*Table, error) {
+	o = o.Norm()
+	return slowdownTable("fig6", "Slowdown vs added gap (32 nodes)", "Δg(µs)", o, o.Procs, core.KnobG, gapPoints)
+}
+
+// Fig7 is the latency sensitivity sweep.
+func Fig7(o Options) (*Table, error) {
+	o = o.Norm()
+	return slowdownTable("fig7", "Slowdown vs added latency (32 nodes)", "ΔL(µs)", o, o.Procs, core.KnobL, latencyPoints)
+}
+
+// Fig8 is the bulk-bandwidth sensitivity sweep.
+func Fig8(o Options) (*Table, error) {
+	o = o.Norm()
+	return slowdownTable("fig8", "Slowdown vs bulk bandwidth (32 nodes)", "MB/s", o, o.Procs, core.KnobBW, bulkBWPoints)
+}
+
+// predictedTable renders measured-vs-predicted run times for one knob.
+func predictedTable(id, title, unit string, o Options, k core.Knob, points []float64,
+	predict func(r0 sim.Time, m int64, added sim.Time) sim.Time) (*Table, error) {
+	o = o.Norm()
+	if o.Quick {
+		points = quickTrim(points)
+	}
+	sel, err := selectedApps(o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: id, Title: title}
+	t.Columns = []string{unit}
+	for _, a := range sel {
+		t.Columns = append(t.Columns, a.PaperName()+" meas(s)", a.PaperName()+" pred(s)")
+	}
+	type appBase struct {
+		res apps.Result
+		m   int64
+	}
+	bases := make([]appBase, len(sel))
+	for i, a := range sel {
+		res, err := baselineRun(a, o.appConfig(o.Procs))
+		if err != nil {
+			return nil, err
+		}
+		m, _ := res.Stats.MaxPerProc()
+		bases[i] = appBase{res: res, m: m}
+	}
+	for _, v := range points {
+		row := []string{f1(v)}
+		for i, a := range sel {
+			pt, err := sweepRun(a, o, o.Procs, k, v, bases[i].res)
+			if err != nil {
+				return nil, err
+			}
+			meas := "N/A"
+			if !pt.Livelocked {
+				meas = secs(pt.Elapsed.Seconds())
+			}
+			pred := predict(bases[i].res.Elapsed, bases[i].m, sim.FromMicros(v))
+			row = append(row, meas, secs(pred.Seconds()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"prediction inputs: baseline run time and max messages/processor (Table 4's m)")
+	return t, nil
+}
+
+// Table5 compares measured run times against the overhead model
+// r = r0 + 2·m·Δo.
+func Table5(o Options) (*Table, error) {
+	return predictedTable("table5", "Measured vs predicted, varying overhead (32 nodes)",
+		"Δo(µs)", o, core.KnobO, overheadPoints, model.Overhead)
+}
+
+// Table6 compares measured run times against the burst gap model
+// r = r0 + m·Δg.
+func Table6(o Options) (*Table, error) {
+	return predictedTable("table6", "Measured vs predicted, varying gap (32 nodes)",
+		"Δg(µs)", o, core.KnobG, gapPoints, model.GapBurst)
+}

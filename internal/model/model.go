@@ -1,0 +1,60 @@
+// Package model implements the paper's analytic sensitivity models from
+// §5, which predict application run time under added communication cost
+// from two numbers measured on the unmodified machine: the base run time
+// and m, the maximum number of messages sent by any processor (Table 4).
+package model
+
+import "repro/internal/sim"
+
+// Overhead predicts run time under added per-message overhead deltaO
+// (§5.1):
+//
+//	r = r0 + 2·m·Δo
+//
+// The factor of two reflects Split-C's request/response pairing: a
+// processor pays Δo to send each message and Δo to receive the matching
+// message of its pair.
+func Overhead(r0 sim.Time, m int64, deltaO sim.Time) sim.Time {
+	return r0 + 2*sim.Time(m)*deltaO
+}
+
+// GapBurst predicts run time under added gap for bursty senders (§5.2):
+//
+//	r = r0 + m·Δg
+//
+// assuming every message is sent inside a communication burst that the
+// gap paces. The paper finds this model the better fit: the applications'
+// linear response to gap shows their communication is bursty.
+func GapBurst(r0 sim.Time, m int64, deltaG sim.Time) sim.Time {
+	return r0 + sim.Time(m)*deltaG
+}
+
+// GapUniform predicts run time under total gap g for uniformly spaced
+// senders (§5.2): the processor only stalls once the gap exceeds its
+// natural message interval I,
+//
+//	r = r0 + m·(g − I)  when g > I,   r = r0  otherwise.
+func GapUniform(r0 sim.Time, m int64, g, interval sim.Time) sim.Time {
+	if g <= interval {
+		return r0
+	}
+	return r0 + sim.Time(m)*(g-interval)
+}
+
+// ReadLatency predicts run time under added latency for an application
+// whose communication is blocking reads (§5.3, accurate only for
+// EM3D(read)): each read's round trip stretches by 2·ΔL, and with m
+// counting both the requests and the replies a processor sends, the
+// per-processor penalty is m·ΔL.
+func ReadLatency(r0 sim.Time, m int64, deltaL sim.Time) sim.Time {
+	return r0 + sim.Time(m)*deltaL
+}
+
+// Slowdown converts a predicted or measured run time to the paper's
+// slowdown metric (relative to the baseline run).
+func Slowdown(r, r0 sim.Time) float64 {
+	if r0 == 0 {
+		return 0
+	}
+	return float64(r) / float64(r0)
+}

@@ -1,0 +1,85 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestOverheadModel(t *testing.T) {
+	// Paper Table 5, Sample at 32 nodes: r0=13.2s, m=1,294,967; at
+	// Δo=50.1µs added (o: 2.9→53) prediction is 142.7s.
+	r0 := sim.FromSeconds(13.2)
+	m := int64(1_294_967)
+	got := Overhead(r0, m, sim.FromMicros(50.1)).Seconds()
+	if got < 142 || got > 144 {
+		t.Errorf("Overhead prediction = %.1fs, want ≈142.7 (paper Table 5)", got)
+	}
+}
+
+func TestGapBurstModel(t *testing.T) {
+	// Paper Table 6, Radix: r0=7.8s, m=1,279,018, g 5.8→105 (Δg=99.2µs)
+	// predicts 135.7s.
+	r0 := sim.FromSeconds(7.8)
+	m := int64(1_279_018)
+	got := GapBurst(r0, m, sim.FromMicros(99.2)).Seconds()
+	if got < 134 || got > 137 {
+		t.Errorf("GapBurst prediction = %.1fs, want ≈135.7 (paper Table 6)", got)
+	}
+}
+
+func TestGapUniformThreshold(t *testing.T) {
+	r0 := sim.FromSeconds(10)
+	m := int64(1000)
+	if got := GapUniform(r0, m, sim.FromMicros(5), sim.FromMicros(8)); got != r0 {
+		t.Errorf("below-interval gap changed runtime: %v", got)
+	}
+	got := GapUniform(r0, m, sim.FromMicros(10), sim.FromMicros(8))
+	want := r0 + 1000*sim.FromMicros(2)
+	if got != want {
+		t.Errorf("uniform model = %v, want %v", got, want)
+	}
+}
+
+func TestReadLatencyEquivalence(t *testing.T) {
+	// §5.3: 100 µs of latency adds the same predicted time as 50 µs of
+	// overhead for a read-based app.
+	r0 := sim.FromSeconds(114)
+	m := int64(8_316_063)
+	lat := ReadLatency(r0, m, sim.FromMicros(100))
+	ovh := Overhead(r0, m, sim.FromMicros(50))
+	if lat != ovh {
+		t.Errorf("latency(100µs)=%v vs overhead(50µs)=%v, want equal", lat, ovh)
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	if s := Slowdown(20, 10); s != 2 {
+		t.Errorf("slowdown = %v", s)
+	}
+	if s := Slowdown(5, 0); s != 0 {
+		t.Errorf("slowdown with zero base = %v", s)
+	}
+}
+
+// Property: all models are monotone and anchored at the baseline.
+func TestModelProperties(t *testing.T) {
+	f := func(r0raw uint32, mraw uint16, d1raw, d2raw uint16) bool {
+		r0 := sim.Time(r0raw)
+		m := int64(mraw)
+		d1, d2 := sim.Time(d1raw), sim.Time(d2raw)
+		if d2 < d1 {
+			d1, d2 = d2, d1
+		}
+		if Overhead(r0, m, 0) != r0 || GapBurst(r0, m, 0) != r0 || ReadLatency(r0, m, 0) != r0 {
+			return false
+		}
+		return Overhead(r0, m, d1) <= Overhead(r0, m, d2) &&
+			GapBurst(r0, m, d1) <= GapBurst(r0, m, d2) &&
+			ReadLatency(r0, m, d1) <= ReadLatency(r0, m, d2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Config controls engine construction.
+type Config struct {
+	// Procs is the number of logical processors (the LogGP "P"). Must be >= 1.
+	Procs int
+	// Seed feeds each processor's deterministic PRNG. Two runs with equal
+	// seeds and equal programs produce identical virtual timelines.
+	Seed int64
+	// TimeLimit, when nonzero, aborts the run with ErrTimeLimit once any
+	// processor's clock passes it. This bounds livelocking programs (the
+	// paper's Barnes does not complete at high overhead).
+	TimeLimit Time
+}
+
+// Engine is a deterministic discrete-event simulator for SPMD programs.
+// Create one with New, then call Run (or RunEach) exactly once.
+type Engine struct {
+	procs     []*Proc
+	ready     procHeap
+	events    eventHeap
+	timeLimit Time
+
+	eventSeq   int64
+	liveCount  int
+	aborted    bool
+	failure    error
+	doneCh     chan struct{}
+	doneClosed bool
+	wg         sync.WaitGroup
+
+	// Counters exposed for scheduler diagnostics and ablation benchmarks.
+	switches   int64 // goroutine hand-offs performed
+	eventsRun  int64 // events executed
+	fastChecks int64 // checkpoints that kept running without a switch
+}
+
+// abortSentinel unwinds parked processor goroutines when the engine aborts.
+type abortPanic struct{}
+
+// ErrTimeLimit is returned by Run when Config.TimeLimit was exceeded.
+var ErrTimeLimit = fmt.Errorf("sim: virtual time limit exceeded")
+
+// timeLimitPanic carries ErrTimeLimit out of a checkpoint.
+type timeLimitPanic struct{}
+
+// New builds an engine with cfg.Procs processors, all at virtual time zero.
+func New(cfg Config) *Engine {
+	if cfg.Procs < 1 {
+		panic(fmt.Sprintf("sim: Config.Procs must be >= 1, got %d", cfg.Procs))
+	}
+	e := &Engine{doneCh: make(chan struct{}), timeLimit: cfg.TimeLimit}
+	e.procs = make([]*Proc, cfg.Procs)
+	for i := range e.procs {
+		e.procs[i] = newProc(e, i, cfg.Seed)
+	}
+	return e
+}
+
+// P returns the number of processors.
+func (e *Engine) P() int { return len(e.procs) }
+
+// Proc returns processor i. It is mainly useful for inspecting clocks after
+// a run; during a run, program code receives its own *Proc.
+func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
+
+// Switches reports how many goroutine hand-offs the scheduler performed.
+func (e *Engine) Switches() int64 { return e.switches }
+
+// EventsRun reports how many discrete events the engine executed.
+func (e *Engine) EventsRun() int64 { return e.eventsRun }
+
+// FastCheckpoints reports checkpoints resolved without a goroutine switch.
+func (e *Engine) FastCheckpoints() int64 { return e.fastChecks }
+
+// MaxClock returns the largest processor clock, i.e. the parallel makespan.
+func (e *Engine) MaxClock() Time {
+	var mx Time
+	for _, p := range e.procs {
+		if p.clock > mx {
+			mx = p.clock
+		}
+	}
+	return mx
+}
+
+// ScheduleAt registers fn to run at virtual time t. Events run in (t, FIFO)
+// order, in the goroutine of whichever processor reaches them first; they
+// must not block and must not call Park or Checkpoint. Events typically
+// deposit a message and call Proc.WakeAt.
+func (e *Engine) ScheduleAt(t Time, fn func()) {
+	e.eventSeq++
+	e.events.push(event{at: t, seq: e.eventSeq, fn: fn})
+}
+
+// Run executes body once per processor (SPMD style) and returns when every
+// processor's body has returned. It returns an error if the simulation
+// deadlocks (every processor parked with no pending events) or if any
+// processor panics.
+func (e *Engine) Run(body func(*Proc)) error {
+	bodies := make([]func(*Proc), len(e.procs))
+	for i := range bodies {
+		bodies[i] = body
+	}
+	return e.RunEach(bodies)
+}
+
+// RunEach is Run with a distinct body per processor.
+func (e *Engine) RunEach(bodies []func(*Proc)) error {
+	if len(bodies) != len(e.procs) {
+		return fmt.Errorf("sim: RunEach got %d bodies for %d procs", len(bodies), len(e.procs))
+	}
+	e.liveCount = len(e.procs)
+	e.wg.Add(len(e.procs))
+	for i, p := range e.procs {
+		p.state = stateReady
+		e.ready.push(p)
+		go e.procMain(p, bodies[i])
+	}
+	// Hand control to the first processor and wait for completion.
+	first := e.ready.pop()
+	first.state = stateRunning
+	first.resume <- struct{}{}
+	<-e.doneCh
+	e.wg.Wait()
+	return e.failure
+}
+
+func (e *Engine) procMain(p *Proc, body func(*Proc)) {
+	defer e.wg.Done()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(abortPanic); ok {
+			return
+		}
+		if _, ok := r.(timeLimitPanic); ok {
+			e.failure = fmt.Errorf("sim: proc %d at %v: %w", p.id, p.clock, ErrTimeLimit)
+			e.abortFromRunning()
+			return
+		}
+		e.failure = fmt.Errorf("sim: proc %d panicked at %v: %v\n%s", p.id, p.clock, r, debug.Stack())
+		e.abortFromRunning()
+	}()
+	<-p.resume
+	if e.aborted {
+		panic(abortPanic{})
+	}
+	body(p)
+	e.finish(p)
+}
+
+// finish retires a processor whose body returned and dispatches the next
+// runnable entity. Called on p's goroutine, which simply returns afterwards.
+func (e *Engine) finish(p *Proc) {
+	p.state = stateDone
+	e.liveCount--
+	next := e.next()
+	if next != nil {
+		e.switches++
+		next.state = stateRunning
+		next.resume <- struct{}{}
+		return
+	}
+	if e.liveCount == 0 {
+		e.signalDone()
+		return
+	}
+	e.failure = e.deadlockError()
+	e.abortFromRunning()
+}
+
+// next pops the runnable processor with the smallest clock, executing any
+// events due at or before that clock first (events may make earlier
+// processors runnable). Returns nil when nothing can run.
+func (e *Engine) next() *Proc {
+	for {
+		q := e.ready.peek()
+		for e.events.len() > 0 && (q == nil || e.events.peek().at <= q.clock) {
+			ev := e.events.pop()
+			e.eventsRun++
+			ev.fn()
+			q = e.ready.peek()
+		}
+		if q != nil {
+			return e.ready.pop()
+		}
+		if e.events.len() == 0 {
+			return nil
+		}
+	}
+}
+
+func (e *Engine) deadlockError() error {
+	msg := "sim: deadlock — all processors parked and no events pending\n"
+	for _, p := range e.procs {
+		if p.state == stateBlocked {
+			msg += fmt.Sprintf("  proc %d blocked at %v: %s\n", p.id, p.clock, p.blockReason)
+		}
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// abortFromRunning tears down the simulation from the currently running
+// goroutine: every parked goroutine is resumed and unwinds via abortPanic.
+func (e *Engine) abortFromRunning() {
+	e.aborted = true
+	for _, p := range e.procs {
+		if p.state == stateReady || p.state == stateBlocked || p.state == statePending {
+			p.state = stateDone
+			p.resume <- struct{}{}
+		}
+	}
+	e.signalDone()
+}
+
+func (e *Engine) signalDone() {
+	if !e.doneClosed {
+		e.doneClosed = true
+		close(e.doneCh)
+	}
+}
+
+// switchTo hands the CPU from the running processor `from` (which stays
+// runnable) to `to`, and parks until someone hands control back.
+func (e *Engine) switchTo(from, to *Proc) {
+	e.switches++
+	from.state = stateReady
+	e.ready.push(from)
+	to.state = stateRunning
+	to.resume <- struct{}{}
+	<-from.resume
+	if e.aborted {
+		panic(abortPanic{})
+	}
+}
+
+// parkAndDispatch blocks `from` (removing it from the runnable set) and
+// dispatches the next entity. Returns when someone wakes `from`.
+func (e *Engine) parkAndDispatch(from *Proc) {
+	next := e.next()
+	if next == nil {
+		if e.liveCount == 0 {
+			// Unreachable: `from` itself is still live.
+			panic("sim: parked with no live processors")
+		}
+		e.failure = e.deadlockError()
+		e.abortFromRunning()
+		panic(abortPanic{})
+	}
+	e.switches++
+	next.state = stateRunning
+	next.resume <- struct{}{}
+	<-from.resume
+	if e.aborted {
+		panic(abortPanic{})
+	}
+}

@@ -1,0 +1,157 @@
+package sim
+
+// eventHeap is a binary min-heap of pending events ordered by (at, seq).
+// The sequence number gives FIFO ordering among events scheduled for the
+// same instant, which keeps runs deterministic.
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.ev[i].at != h.ev[j].at {
+		return h.ev[i].at < h.ev[j].at
+	}
+	return h.ev[i].seq < h.ev[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) peek() *event {
+	if len(h.ev) == 0 {
+		return nil
+	}
+	return &h.ev[0]
+}
+
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		left, right := 2*i+1, 2*i+2
+		small := i
+		if left < n && h.less(left, small) {
+			small = left
+		}
+		if right < n && h.less(right, small) {
+			small = right
+		}
+		if small == i {
+			return
+		}
+		h.ev[i], h.ev[small] = h.ev[small], h.ev[i]
+		i = small
+	}
+}
+
+// procHeap is a binary min-heap of ready processors ordered by
+// (clock, id). Processor identity breaks ties so the schedule is stable.
+// Each Proc caches its heap index for O(log n) removal and re-keying.
+type procHeap struct {
+	ps []*Proc
+}
+
+func (h *procHeap) len() int { return len(h.ps) }
+
+func (h *procHeap) less(i, j int) bool {
+	a, b := h.ps[i], h.ps[j]
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.id < b.id
+}
+
+func (h *procHeap) swap(i, j int) {
+	h.ps[i], h.ps[j] = h.ps[j], h.ps[i]
+	h.ps[i].heapIndex = i
+	h.ps[j].heapIndex = j
+}
+
+func (h *procHeap) push(p *Proc) {
+	p.heapIndex = len(h.ps)
+	h.ps = append(h.ps, p)
+	h.siftUp(p.heapIndex)
+}
+
+func (h *procHeap) peek() *Proc {
+	if len(h.ps) == 0 {
+		return nil
+	}
+	return h.ps[0]
+}
+
+func (h *procHeap) pop() *Proc {
+	top := h.ps[0]
+	h.remove(0)
+	return top
+}
+
+// remove deletes the element at index i.
+func (h *procHeap) remove(i int) {
+	last := len(h.ps) - 1
+	if i != last {
+		h.swap(i, last)
+	}
+	h.ps[last].heapIndex = -1
+	h.ps = h.ps[:last]
+	if i < last {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+}
+
+func (h *procHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *procHeap) siftDown(i int) {
+	n := len(h.ps)
+	for {
+		left, right := 2*i+1, 2*i+2
+		small := i
+		if left < n && h.less(left, small) {
+			small = left
+		}
+		if right < n && h.less(right, small) {
+			small = right
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

@@ -1,0 +1,176 @@
+package sim
+
+import "math/rand"
+
+type procState uint8
+
+const (
+	statePending procState = iota // goroutine created, never dispatched
+	stateRunning                  // the single currently executing processor
+	stateReady                    // runnable, waiting in the ready heap
+	stateBlocked                  // parked until WakeAt
+	stateDone                     // body returned
+)
+
+// Proc is one simulated processor. Program code runs on the processor's
+// goroutine and manipulates virtual time through this handle. A Proc is not
+// safe for use from any goroutine other than its own body (the engine
+// guarantees only one body runs at a time, so cross-proc data structures
+// need no locking, but a Proc handle must not be captured by another body).
+type Proc struct {
+	id        int
+	eng       *Engine
+	clock     Time
+	state     procState
+	heapIndex int
+	resume    chan struct{}
+
+	blockReason string
+	rng         *rand.Rand
+
+	// pendingWakes records WakeAt calls that arrived while the processor
+	// was not parked (running, ready, or not yet started). Park consumes
+	// them instead of blocking, so no wakeup is ever lost. Kept sorted
+	// ascending; typically empty or a single element.
+	pendingWakes []Time
+}
+
+func newProc(e *Engine, id int, seed int64) *Proc {
+	return &Proc{
+		id:        id,
+		eng:       e,
+		state:     statePending,
+		heapIndex: -1,
+		resume:    make(chan struct{}, 1),
+		rng:       rand.New(rand.NewSource(seed*1_000_003 + int64(id)*7919 + 1)),
+	}
+}
+
+// ID returns the processor number in [0, P).
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the engine this processor belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Clock returns the processor's current virtual time.
+func (p *Proc) Clock() Time { return p.clock }
+
+// Rand returns the processor's deterministic PRNG.
+func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Advance charges d of local computation (or overhead) to the processor.
+// Pure local work never requires a checkpoint: nothing another processor
+// does can affect it, because messages are only observed at poll points.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic("sim: Advance with negative duration")
+	}
+	p.clock += d
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future.
+func (p *Proc) AdvanceTo(t Time) {
+	if t > p.clock {
+		p.clock = t
+	}
+}
+
+// Checkpoint is a synchronization point: all events due at or before the
+// processor's clock are executed, and if any runnable processor now has a
+// smaller clock (or equal clock and smaller ID), control transfers to it.
+// Communication layers call this at every poll point so that message
+// arrivals are observed in virtual-time order.
+func (p *Proc) Checkpoint() {
+	e := p.eng
+	if e.timeLimit > 0 && p.clock > e.timeLimit {
+		panic(timeLimitPanic{})
+	}
+	switched := false
+	for {
+		for e.events.len() > 0 && e.events.peek().at <= p.clock {
+			ev := e.events.pop()
+			e.eventsRun++
+			ev.fn()
+		}
+		q := e.ready.peek()
+		if q == nil || q.clock > p.clock || (q.clock == p.clock && q.id > p.id) {
+			if !switched {
+				e.fastChecks++
+			}
+			return
+		}
+		e.ready.pop()
+		switched = true
+		e.switchTo(p, q)
+	}
+}
+
+// Park blocks the processor until another entity calls WakeAt on it.
+// Callers are responsible for the condition loop: check the awaited
+// condition, and Park again on spurious wakeups. Between the caller's
+// condition check and the block there is no window in which an event can
+// fire unobserved: Park runs no events itself, and events executed during
+// the dispatch see the processor already marked blocked, so their WakeAt
+// takes effect. Park panics (aborting the simulation with a deadlock
+// diagnosis) if nothing can ever wake the processor.
+func (p *Proc) Park(reason string) {
+	if len(p.pendingWakes) > 0 {
+		// A wakeup already arrived while we were running or ready; consume
+		// the earliest one instead of blocking.
+		t := p.pendingWakes[0]
+		p.pendingWakes = p.pendingWakes[1:]
+		p.AdvanceTo(t)
+		p.Checkpoint()
+		return
+	}
+	p.state = stateBlocked
+	p.blockReason = reason
+	p.eng.parkAndDispatch(p)
+}
+
+// WakeAt makes a parked processor runnable at time t (or at its own clock,
+// whichever is later). If the processor is not currently parked, the wakeup
+// is recorded and the processor's next Park returns (at time t) instead of
+// blocking, so wakeups are never lost. WakeAt is the only Proc method that
+// may be called from outside p's own goroutine context (from events or
+// other bodies).
+func (p *Proc) WakeAt(t Time) {
+	switch p.state {
+	case stateBlocked:
+		if t > p.clock {
+			p.clock = t
+		}
+		p.state = stateReady
+		p.eng.ready.push(p)
+	case stateDone:
+		// Nothing to do.
+	default:
+		// Insert into the sorted pending-wake list.
+		i := len(p.pendingWakes)
+		for i > 0 && p.pendingWakes[i-1] > t {
+			i--
+		}
+		if i < len(p.pendingWakes) && p.pendingWakes[i] == t {
+			return // dedup
+		}
+		p.pendingWakes = append(p.pendingWakes, 0)
+		copy(p.pendingWakes[i+1:], p.pendingWakes[i:])
+		p.pendingWakes[i] = t
+	}
+}
+
+// SleepUntil parks the processor until virtual time t. Spurious wakeups
+// (for example message deliveries) do not end the sleep early.
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.clock {
+		p.Checkpoint()
+		return
+	}
+	p.eng.ScheduleAt(t, func() { p.WakeAt(t) })
+	for p.clock < t {
+		p.Park("sleep")
+	}
+}
+
+// Sleep parks the processor for a duration of virtual time.
+func (p *Proc) Sleep(d Time) { p.SleepUntil(p.clock + d) }

@@ -1,0 +1,133 @@
+package splitc
+
+import (
+	"fmt"
+
+	"repro/internal/am"
+)
+
+// This file holds the larger collectives of the Split-C library surface:
+// exclusive prefix scan, gather to a root, and a personalized all-to-all.
+// The benchmark applications mostly hand-roll their communication (as the
+// paper's Split-C programs did), but downstream users of the library
+// routinely want these.
+
+// scanTag and gather/alltoall tags extend the collective tag space set up
+// in sync.go (reduce, ar-bcast, bcast occupy [0, 3·rounds)).
+func (w *World) scanTag(r int) int { return 3*logRounds(w.P()) + r }
+func (w *World) gatherTag() int    { return 4 * logRounds(w.P()) }
+func (w *World) allToAllTag() int  { return 4*logRounds(w.P()) + 1 }
+
+// ScanAdd returns the exclusive prefix sum of val across processors:
+// processor i receives the sum of processors 0..i-1's values (0 on
+// processor 0). Hillis-Steele over ⌈log2 P⌉ rounds of short messages.
+func (p *Proc) ScanAdd(val uint64) uint64 {
+	w := p.w
+	me := p.ID()
+	P := p.P()
+	if P == 1 {
+		return 0
+	}
+	inclusive := val
+	for r := 0; 1<<r < P; r++ {
+		dist := 1 << r
+		if me+dist < P {
+			p.sendColl(me+dist, w.scanTag(r), inclusive)
+		}
+		if me-dist >= 0 {
+			inclusive += p.recvColl(w.scanTag(r))
+		}
+	}
+	return inclusive - val
+}
+
+// Gather collects one word from every processor at root, returning the
+// full vector there (nil elsewhere). Leaves write directly into the
+// root's landing area; O(P) messages but a single round trip of depth.
+func (p *Proc) Gather(root int, val uint64) []uint64 {
+	w := p.w
+	me := p.ID()
+	P := p.P()
+	if root < 0 || root >= P {
+		panic(fmt.Sprintf("splitc: Gather root %d out of range", root))
+	}
+	cs := &w.coll[root]
+	tag := w.gatherTag()
+	if me == root {
+		// Wait for P-1 remote words; values arrive tagged with the sender
+		// in the high bits so the vector assembles in processor order.
+		// The terminal barrier separates episodes, so every queued record
+		// belongs to this one (senders may race ahead of this call, which
+		// is why the queue is drained rather than windowed).
+		out := make([]uint64, P)
+		out[me] = val
+		need := P - 1
+		p.ep.WaitUntil(func() bool { return len(cs.vals[tag]) >= need }, "splitc: gather")
+		if len(cs.vals[tag]) != need {
+			panic("splitc: gather arity")
+		}
+		for _, rec := range cs.vals[tag] {
+			out[rec>>56] = rec & (1<<56 - 1)
+		}
+		cs.vals[tag] = nil
+		p.Barrier()
+		return out
+	}
+	if val >= 1<<56 {
+		panic("splitc: Gather values must fit in 56 bits")
+	}
+	p.sendColl(root, tag, uint64(me)<<56|val)
+	p.Barrier()
+	return nil
+}
+
+// AllToAll performs a personalized exchange: each processor provides one
+// word per destination (len(vals) == P) and receives one word from every
+// source, in source order. Short write messages tagged with the sender.
+func (p *Proc) AllToAll(vals []uint64) []uint64 {
+	w := p.w
+	me := p.ID()
+	P := p.P()
+	if len(vals) != P {
+		panic(fmt.Sprintf("splitc: AllToAll needs %d values, got %d", P, len(vals)))
+	}
+	out := make([]uint64, P)
+	out[me] = vals[me]
+	received := make([]bool, P)
+	received[me] = true
+	need := P - 1
+	tag := w.allToAllTag()
+	cs := &w.coll[me]
+	for dst := 0; dst < P; dst++ {
+		if dst == me {
+			continue
+		}
+		if vals[dst] >= 1<<56 {
+			panic("splitc: AllToAll values must fit in 56 bits")
+		}
+		p.sendColl(dst, tag, uint64(me)<<56|vals[dst])
+	}
+	// The terminal barrier separates episodes; drain the whole queue.
+	p.ep.WaitUntil(func() bool { return len(cs.vals[tag]) >= need }, "splitc: all-to-all")
+	if len(cs.vals[tag]) != need {
+		panic("splitc: all-to-all arity")
+	}
+	for _, rec := range cs.vals[tag] {
+		src := rec >> 56
+		if received[src] {
+			panic("splitc: duplicate all-to-all record")
+		}
+		received[src] = true
+		out[src] = rec & (1<<56 - 1)
+	}
+	cs.vals[tag] = nil
+	// A barrier separates episodes so no next-round record can land in
+	// this round's window.
+	p.Barrier()
+	return out
+}
+
+// classifySync keeps the extended collectives on sync-class traffic like
+// the rest of the synchronization layer (documentational: sendColl
+// already uses am.ClassSync).
+var _ = am.ClassSync

@@ -1,0 +1,141 @@
+package splitc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logp"
+)
+
+func TestScanAdd(t *testing.T) {
+	for _, procs := range []int{1, 2, 3, 5, 8, 16, 32} {
+		w := newTestWorld(t, procs)
+		err := w.Run(func(p *Proc) {
+			for round := 0; round < 3; round++ {
+				val := uint64(p.ID()*10 + round)
+				got := p.ScanAdd(val)
+				var want uint64
+				for q := 0; q < p.ID(); q++ {
+					want += uint64(q*10 + round)
+				}
+				if got != want {
+					t.Errorf("P=%d round %d: proc %d ScanAdd = %d, want %d",
+						procs, round, p.ID(), got, want)
+				}
+				p.Barrier()
+			}
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	for _, procs := range []int{1, 2, 5, 8} {
+		w := newTestWorld(t, procs)
+		err := w.Run(func(p *Proc) {
+			for root := 0; root < p.P(); root++ {
+				got := p.Gather(root, uint64(p.ID()*7+1))
+				if p.ID() == root {
+					if len(got) != p.P() {
+						t.Fatalf("gather length %d", len(got))
+					}
+					for q, v := range got {
+						if v != uint64(q*7+1) {
+							t.Errorf("P=%d root %d: got[%d] = %d, want %d", procs, root, q, v, q*7+1)
+						}
+					}
+				} else if got != nil {
+					t.Errorf("non-root received a vector")
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 9} {
+		w := newTestWorld(t, procs)
+		err := w.Run(func(p *Proc) {
+			for round := 0; round < 2; round++ {
+				vals := make([]uint64, p.P())
+				for dst := range vals {
+					vals[dst] = uint64(p.ID()*100 + dst + round)
+				}
+				got := p.AllToAll(vals)
+				for src, v := range got {
+					if want := uint64(src*100 + p.ID() + round); v != want {
+						t.Errorf("P=%d round %d: proc %d got[%d] = %d, want %d",
+							procs, round, p.ID(), src, v, want)
+					}
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+	}
+}
+
+// Property: ScanAdd of all-equal values yields id*val; AllReduceSum agrees
+// with the scan's total.
+func TestScanReduceConsistencyProperty(t *testing.T) {
+	f := func(valRaw uint16, procsRaw uint8) bool {
+		procs := int(procsRaw)%7 + 1
+		val := uint64(valRaw)
+		w, err := NewWorld(procs, logp.NOW(), 3)
+		if err != nil {
+			return false
+		}
+		ok := true
+		err = w.Run(func(p *Proc) {
+			scan := p.ScanAdd(val)
+			if scan != uint64(p.ID())*val {
+				ok = false
+			}
+			total := p.AllReduceSum(val)
+			if total != uint64(procs)*val {
+				ok = false
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixedCollectivesInterleave(t *testing.T) {
+	// Different collectives back-to-back must not cross-contaminate tags.
+	w := newTestWorld(t, 8)
+	err := w.Run(func(p *Proc) {
+		me := uint64(p.ID())
+		if got := p.AllReduceSum(1); got != 8 {
+			t.Errorf("allreduce = %d", got)
+		}
+		if got := p.ScanAdd(1); got != me {
+			t.Errorf("scan = %d, want %d", got, me)
+		}
+		if got := p.Broadcast(3, me*11); got != 33 {
+			t.Errorf("broadcast = %d", got)
+		}
+		vec := p.Gather(0, me)
+		if p.ID() == 0 && vec[7] != 7 {
+			t.Errorf("gather[7] = %d", vec[7])
+		}
+		all := p.AllToAll(make([]uint64, 8))
+		if all[3] != 0 {
+			t.Errorf("alltoall = %v", all)
+		}
+		if got := p.AllReduceMax(me); got != 7 {
+			t.Errorf("allreducemax = %d", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

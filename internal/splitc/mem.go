@@ -1,0 +1,154 @@
+package splitc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/am"
+)
+
+// ReadWord performs a blocking read of the word at g: one short request,
+// one short reply, classified as read traffic. Local reads touch memory
+// directly and cost no communication.
+func (p *Proc) ReadWord(g GPtr) uint64 {
+	if int(g.Proc) == p.ID() {
+		return *p.w.word(g)
+	}
+	w := p.w
+	var val uint64
+	done := false
+	p.ep.Request(int(g.Proc), am.ClassRead, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
+		v := w.mem[a[0]>>32][uint32(a[0])]
+		ep.Reply(tok, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
+			val = a[0]
+			done = true
+		}, am.Args{v})
+	}, am.Args{g.Pack()})
+	p.ep.WaitUntil(func() bool { return done }, "splitc: blocking read")
+	return val
+}
+
+// WriteWord performs a pipelined remote store of v to g: one short request
+// whose firmware-level ack completes it. The issuing processor continues
+// immediately; StoreSync (or Barrier) waits for all outstanding stores.
+func (p *Proc) WriteWord(g GPtr, v uint64) {
+	if int(g.Proc) == p.ID() {
+		*p.w.word(g) = v
+		return
+	}
+	w := p.w
+	p.ep.Request(int(g.Proc), am.ClassWrite, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
+		w.mem[a[0]>>32][uint32(a[0])] = a[1]
+	}, am.Args{g.Pack(), v})
+	p.storeByteCount += 8
+}
+
+// WriteWordSync is WriteWord followed by StoreSync — a blocking write.
+func (p *Proc) WriteWordSync(g GPtr, v uint64) {
+	p.WriteWord(g, v)
+	p.StoreSync()
+}
+
+// StoreSync blocks until every request this processor has issued — in
+// particular every pipelined store — has been applied at its destination
+// (Split-C's store counter synchronization).
+func (p *Proc) StoreSync() {
+	p.ep.WaitUntil(func() bool { return p.ep.TotalOutstanding() == 0 }, "splitc: store sync")
+}
+
+// fragWords is computed from the machine's bulk fragment size.
+func (p *Proc) fragWords() int { return p.w.m.Params().FragmentSize / 8 }
+
+// BulkPut copies vals into the global heap at g using the bulk-transfer
+// mechanism (one bulk fragment per ≤4 KB). Like WriteWord it is pipelined;
+// StoreSync waits for completion. Local puts are direct copies.
+func (p *Proc) BulkPut(g GPtr, vals []uint64) {
+	if int(g.Proc) == p.ID() {
+		copy(p.w.mem[g.Proc][g.Off:], vals)
+		return
+	}
+	w := p.w
+	frag := p.fragWords()
+	for off := 0; off < len(vals); off += frag {
+		end := off + frag
+		if end > len(vals) {
+			end = len(vals)
+		}
+		chunk := vals[off:end]
+		buf := make([]byte, 8*len(chunk))
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint64(buf[8*i:], v)
+		}
+		target := g.Add(off)
+		p.ep.Store(int(g.Proc), am.ClassWrite, func(ep *am.Endpoint, tok *am.Token, a am.Args, data []byte) {
+			dst := UnpackGPtr(a[0])
+			mem := w.mem[dst.Proc]
+			for i := 0; i < len(data)/8; i++ {
+				mem[int(dst.Off)+i] = binary.LittleEndian.Uint64(data[8*i:])
+			}
+		}, am.Args{target.Pack()}, buf)
+		p.storeByteCount += int64(len(buf))
+	}
+}
+
+// BulkGet performs a blocking bulk read of n words at g: one short read
+// request per ≤4 KB fragment, each answered with a bulk (DMA) reply.
+// Fragment requests are pipelined; the call returns when all data has
+// arrived. Local gets are direct copies.
+func (p *Proc) BulkGet(g GPtr, n int) []uint64 {
+	out := make([]uint64, n)
+	if int(g.Proc) == p.ID() {
+		copy(out, p.w.mem[g.Proc][g.Off:int(g.Off)+n])
+		return out
+	}
+	w := p.w
+	frag := p.fragWords()
+	received := 0
+	for off := 0; off < n; off += frag {
+		count := frag
+		if off+count > n {
+			count = n - off
+		}
+		src := g.Add(off)
+		dstOff := off
+		p.ep.Request(int(g.Proc), am.ClassRead, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
+			from := UnpackGPtr(a[0])
+			cnt := int(a[1])
+			mem := w.mem[from.Proc]
+			buf := make([]byte, 8*cnt)
+			for i := 0; i < cnt; i++ {
+				binary.LittleEndian.PutUint64(buf[8*i:], mem[int(from.Off)+i])
+			}
+			ep.ReplyBulk(tok, func(ep *am.Endpoint, tok *am.Token, a am.Args, data []byte) {
+				base := int(a[0])
+				for i := 0; i < len(data)/8; i++ {
+					out[base+i] = binary.LittleEndian.Uint64(data[8*i:])
+				}
+				received += len(data) / 8
+			}, am.Args{uint64(dstOff)}, buf)
+		}, am.Args{src.Pack(), uint64(count)})
+	}
+	p.ep.WaitUntil(func() bool { return received == n }, "splitc: bulk get")
+	return out
+}
+
+// StoreBytes counts the bytes written via pipelined stores since the last
+// ResetStoreBytes (application-level accounting helper).
+func (p *Proc) StoreBytes() int64 { return p.storeByteCount }
+
+// ResetStoreBytes zeroes the pipelined-store byte counter.
+func (p *Proc) ResetStoreBytes() { p.storeByteCount = 0 }
+
+// CheckBounds panics with a helpful message when a global pointer is out
+// of range for n words; applications use it in debug paths.
+func (p *Proc) CheckBounds(g GPtr, n int) {
+	heap := p.w.mem[g.Proc]
+	if g.Off < 0 || int(g.Off)+n > len(heap) {
+		panic(fmt.Sprintf("splitc: %v + %d words out of range (heap %d words)", g, n, len(heap)))
+	}
+}
+
+// Slice returns a direct view of the owning heap from g to its end. It is
+// the escape hatch message handlers use to scatter bulk payloads into
+// global memory on the processor where they run.
+func (w *World) Slice(g GPtr) []uint64 { return w.mem[g.Proc][g.Off:] }

@@ -1,0 +1,70 @@
+package splitc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPhaseAccounting(t *testing.T) {
+	w := newTestWorld(t, 4)
+	err := w.Run(func(p *Proc) {
+		p.EnterPhase("setup")
+		p.ComputeUs(100)
+		p.EnterPhase("work")
+		p.ComputeUs(300)
+		p.EnterPhase("teardown")
+		p.ComputeUs(100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := w.PhaseNames()
+	if len(names) != 3 || names[0] != "setup" || names[1] != "work" || names[2] != "teardown" {
+		t.Fatalf("phase names = %v", names)
+	}
+	if got := w.PhaseTime("work"); got < 4*300*sim.Microsecond {
+		t.Errorf("work time = %v, want >= 1200µs across 4 procs", got)
+	}
+	frac := w.PhaseFraction("work")
+	// Work is 300 of 500µs of compute plus some barrier time in teardown.
+	if frac < 0.4 || frac > 0.7 {
+		t.Errorf("work fraction = %v, want ≈0.6", frac)
+	}
+	total := 0.0
+	for _, n := range names {
+		total += w.PhaseFraction(n)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("phase fractions sum to %v", total)
+	}
+}
+
+func TestPhaseUnlabeledIsFree(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.Run(func(p *Proc) {
+		p.ComputeUs(500) // before any label: unaccounted
+		p.EnterPhase("only")
+		p.ComputeUs(100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.PhaseFraction("only"); got != 1.0 {
+		t.Errorf("only-phase fraction = %v, want 1", got)
+	}
+	if w.PhaseTime("missing") != 0 {
+		t.Error("unknown phase has time")
+	}
+}
+
+func TestPhaseFractionEmptyWorld(t *testing.T) {
+	w := newTestWorld(t, 2)
+	if err := w.Run(func(p *Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+	if w.PhaseFraction("x") != 0 || len(w.PhaseNames()) != 0 {
+		t.Error("expected no phase data")
+	}
+}

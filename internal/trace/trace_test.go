@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/am"
+	"repro/internal/logp"
+	"repro/internal/sim"
+	"repro/internal/splitc"
+)
+
+// runTraced runs a small SPMD exchange with a recorder attached.
+func runTraced(t *testing.T, rec *Recorder) *splitc.World {
+	t.Helper()
+	w, err := splitc.NewWorld(4, logp.NOW(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Machine().SetObserver(rec)
+	var cells [4]splitc.GPtr
+	err = w.Run(func(p *splitc.Proc) {
+		cells[p.ID()] = p.Alloc(1)
+		p.Barrier()
+		for i := 0; i < 10; i++ {
+			p.WriteWord(cells[(p.ID()+1)%4], uint64(i))
+			p.ComputeUs(5)
+		}
+		p.Barrier()
+		p.ReadWord(cells[(p.ID()+2)%4])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRecorderCapturesTraffic(t *testing.T) {
+	rec := &Recorder{}
+	w := runTraced(t, rec)
+	sent, handled, bulk, reads := rec.Counts()
+	if sent == 0 || handled == 0 {
+		t.Fatalf("no events recorded: sent=%d handled=%d", sent, handled)
+	}
+	// Every handled event corresponds to a sent one.
+	if handled != sent {
+		t.Errorf("sent %d != handled %d", sent, handled)
+	}
+	if bulk != 0 {
+		t.Errorf("unexpected bulk events: %d", bulk)
+	}
+	if reads == 0 {
+		t.Error("the ReadWord round trips should appear as read sends")
+	}
+	// The recorder's view agrees with the machine's own stats.
+	if sent != w.Stats().TotalSent() {
+		t.Errorf("recorder sent %d, stats %d", sent, w.Stats().TotalSent())
+	}
+	lo, hi := rec.Span()
+	if hi <= lo {
+		t.Errorf("span [%v, %v]", lo, hi)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	rec := &Recorder{}
+	runTraced(t, rec)
+	tl := rec.Timeline(4, 40)
+	lines := strings.Split(strings.TrimSpace(tl), "\n")
+	if len(lines) != 5 { // header + 4 lanes
+		t.Fatalf("timeline has %d lines:\n%s", len(lines), tl)
+	}
+	for _, lane := range lines[1:] {
+		if !strings.Contains(lane, "|") {
+			t.Errorf("malformed lane %q", lane)
+		}
+	}
+	// Every processor did work, so no lane should be entirely blank.
+	for i, lane := range lines[1:] {
+		body := lane[strings.Index(lane, "|")+1 : strings.LastIndex(lane, "|")]
+		if strings.TrimSpace(body) == "" {
+			t.Errorf("lane %d is empty", i)
+		}
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	rec := &Recorder{}
+	if got := rec.Timeline(4, 10); got != "(no events)\n" {
+		t.Errorf("empty timeline = %q", got)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	rec := &Recorder{Limit: 5}
+	runTraced(t, rec)
+	if len(rec.Events) != 5 {
+		t.Errorf("events = %d, want capped at 5", len(rec.Events))
+	}
+	if rec.Dropped == 0 {
+		t.Error("expected dropped events")
+	}
+	if !strings.Contains(rec.Timeline(4, 10), "dropped") {
+		t.Error("timeline should mention drops")
+	}
+}
+
+func TestSample(t *testing.T) {
+	rec := &Recorder{}
+	runTraced(t, rec)
+	thin := rec.Sample(3)
+	want := (len(rec.Events) + 2) / 3
+	if len(thin.Events) != want {
+		t.Errorf("sampled %d, want %d", len(thin.Events), want)
+	}
+	if thin.Sample(0).Events == nil {
+		t.Error("Sample(0) should clamp, not crash")
+	}
+}
+
+func TestObserverDoesNotPerturbTiming(t *testing.T) {
+	run := func(obs am.Observer) sim.Time {
+		w, err := splitc.NewWorld(4, logp.NOW(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs != nil {
+			w.Machine().SetObserver(obs)
+		}
+		var cells [4]splitc.GPtr
+		if err := w.Run(func(p *splitc.Proc) {
+			cells[p.ID()] = p.Alloc(1)
+			p.Barrier()
+			for i := 0; i < 20; i++ {
+				p.WriteWord(cells[(p.ID()+1)%4], uint64(i))
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+	plain := run(nil)
+	traced := run(&Recorder{})
+	if plain != traced {
+		t.Errorf("observer changed virtual timing: %v vs %v", plain, traced)
+	}
+}

@@ -1,0 +1,138 @@
+// Package repro reproduces Martin, Vahdat, Culler & Anderson, "Effects of
+// Communication Latency, Overhead, and Bandwidth in a Cluster
+// Architecture" (ISCA 1997) as a self-contained Go library.
+//
+// It provides:
+//
+//   - a deterministic discrete-event cluster simulator with a Generic
+//     Active Messages layer whose LogGP parameters — latency L, overhead
+//     o, gap g, and bulk Gap G — can be varied independently, exactly as
+//     the paper's modified LANai firmware allows;
+//   - a Split-C-like SPMD programming layer (global pointers, blocking
+//     reads, pipelined writes, bulk transfers, barriers, collectives,
+//     locks) for writing parallel programs against the simulated machine;
+//   - the paper's ten-application benchmark suite, each application
+//     running its real algorithm and verified against a serial reference;
+//   - the calibration microbenchmarks (LogP signatures) and the analytic
+//     sensitivity models of §5; and
+//   - an experiment harness that regenerates every table and figure of
+//     the paper's evaluation.
+//
+// Quick start:
+//
+//	w, _ := repro.NewWorld(4, repro.NOW(), 1)
+//	w.Run(func(p *repro.Proc) {
+//		g := p.Alloc(1)
+//		p.Barrier()
+//		// ... SPMD code: p.ReadWord, p.WriteWord, p.Barrier, ...
+//		_ = g
+//	})
+//
+// or run a paper experiment:
+//
+//	tab, _ := repro.RunExperiment("fig5b", repro.Options{Quick: true})
+//	fmt.Println(tab.Text())
+package repro
+
+import (
+	"repro/internal/apps"
+	"repro/internal/apps/suite"
+	"repro/internal/calib"
+	"repro/internal/exp"
+	"repro/internal/logp"
+	"repro/internal/sim"
+	"repro/internal/splitc"
+	"repro/internal/trace"
+)
+
+// Core type surface, re-exported from the implementation packages.
+type (
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Params is a LogGP machine description plus the four experiment
+	// knobs (added overhead, gap, latency, and a bulk-bandwidth cap).
+	Params = logp.Params
+	// World is a P-processor simulated cluster with a global address
+	// space.
+	World = splitc.World
+	// Proc is one simulated processor's handle, passed to SPMD bodies.
+	Proc = splitc.Proc
+	// GPtr is a global pointer into the cluster's address space.
+	GPtr = splitc.GPtr
+	// App is one benchmark application.
+	App = apps.App
+	// AppConfig parameterizes a benchmark run.
+	AppConfig = apps.Config
+	// AppResult reports a benchmark run.
+	AppResult = apps.Result
+	// Calibration is the measured LogGP characteristics of a machine.
+	Calibration = calib.Measured
+	// Options parameterizes experiment-harness runs.
+	Options = exp.Options
+	// Table is a rendered experiment result.
+	Table = exp.Table
+	// Experiment is one reproducible paper artifact.
+	Experiment = exp.Experiment
+	// TraceRecorder buffers per-message events for timeline rendering;
+	// attach via World.Machine().SetObserver.
+	TraceRecorder = trace.Recorder
+)
+
+// Machine presets (paper Table 1, §5.1).
+var (
+	// NOW is the Berkeley NOW baseline: o=2.9µs, g=5.8µs, L=5µs, 38 MB/s.
+	NOW = logp.NOW
+	// Paragon is the Intel Paragon comparison point.
+	Paragon = logp.Paragon
+	// Meiko is the Meiko CS-2 comparison point.
+	Meiko = logp.Meiko
+	// LAN approximates a mid-90s switched-LAN TCP/IP stack (~100µs o).
+	LAN = logp.LAN
+)
+
+// Virtual-time helpers.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// FromMicros converts floating-point microseconds to Time.
+func FromMicros(us float64) Time { return sim.FromMicros(us) }
+
+// NewWorld builds a cluster of p processors with the given network
+// parameters. Seed fixes all pseudo-randomness; equal seeds give
+// bit-identical runs.
+func NewWorld(p int, params Params, seed int64) (*World, error) {
+	return splitc.NewWorld(p, params, seed)
+}
+
+// NewWorldLimit is NewWorld with a virtual-time limit; a run that exceeds
+// it fails with a time-limit error (used to detect livelock).
+func NewWorldLimit(p int, params Params, seed int64, limit Time) (*World, error) {
+	return splitc.NewWorldLimit(p, params, seed, limit)
+}
+
+// Calibrate runs the paper's microbenchmarks against a machine and
+// returns its effective LogGP characteristics.
+func Calibrate(params Params) (Calibration, error) { return calib.Calibrate(params) }
+
+// Suite returns the paper's ten-application benchmark suite in Table 4
+// order.
+func Suite() []App { return suite.All() }
+
+// AppByName finds a suite application by its short name (for example
+// "radix", "em3d-read", "nowsort").
+func AppByName(name string) (App, error) { return suite.ByName(name) }
+
+// Experiments lists every table/figure experiment in paper order.
+func Experiments() []Experiment { return exp.Registry() }
+
+// RunExperiment regenerates one paper artifact by id ("table1" … "fig8").
+func RunExperiment(id string, opts Options) (*Table, error) {
+	e, err := exp.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts)
+}

@@ -1,0 +1,89 @@
+package repro_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	w, err := repro.NewWorld(4, repro.NOW(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shared [4]repro.GPtr
+	err = w.Run(func(p *repro.Proc) {
+		shared[p.ID()] = p.Alloc(1)
+		p.Barrier()
+		right := (p.ID() + 1) % p.P()
+		p.WriteWord(shared[right], uint64(100+p.ID()))
+		p.Barrier()
+		left := (p.ID() - 1 + p.P()) % p.P()
+		if got := p.ReadWord(shared[p.ID()]); got != uint64(100+left) {
+			t.Errorf("proc %d read %d", p.ID(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Elapsed() == 0 {
+		t.Error("no virtual time elapsed")
+	}
+}
+
+func TestPublicCalibrate(t *testing.T) {
+	c, err := repro.Calibrate(repro.NOW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.O.Micros()-2.9) > 0.2 {
+		t.Errorf("o = %v", c.O.Micros())
+	}
+}
+
+func TestPublicSuite(t *testing.T) {
+	if got := len(repro.Suite()); got != 10 {
+		t.Errorf("suite has %d apps, want 10", got)
+	}
+	a, err := repro.AppByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run(repro.AppConfig{Procs: 4, Scale: 0.0003, Seed: 1, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("radix not verified")
+	}
+	if _, err := repro.AppByName("bogus"); err == nil {
+		t.Error("AppByName accepted bogus name")
+	}
+}
+
+func TestPublicExperiment(t *testing.T) {
+	if got := len(repro.Experiments()); got != 16 {
+		t.Errorf("%d experiments, want 16", got)
+	}
+	tab, err := repro.RunExperiment("table1", repro.Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.Text(), "Berkeley NOW") {
+		t.Errorf("table1 text missing NOW row:\n%s", tab.Text())
+	}
+	if _, err := repro.RunExperiment("bogus", repro.Options{}); err == nil {
+		t.Error("RunExperiment accepted bogus id")
+	}
+}
+
+func TestPresetsDiffer(t *testing.T) {
+	if repro.NOW() == repro.Paragon() || repro.NOW() == repro.Meiko() {
+		t.Error("presets should differ")
+	}
+	if repro.LAN().DeltaO != repro.FromMicros(100) {
+		t.Error("LAN preset should add 100µs overhead")
+	}
+}
