@@ -6,6 +6,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro"
@@ -65,6 +66,41 @@ func BenchmarkSuiteBaseline(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkSweepParallel measures the wall-clock effect of the run
+// engine's worker pool on a multi-app Quick fig5b plan: the same
+// deduplicated plan executed at jobs=1 and jobs=NumCPU. Tables are
+// bit-identical at both settings; only elapsed time may differ. On a
+// ≥4-core host the parallel pool should finish the sweep at least ~2x
+// faster; on a single-core host the two settings coincide.
+func BenchmarkSweepParallel(b *testing.B) {
+	opts := benchOpts()
+	opts.Apps = []string{"radix", "em3d-read", "em3d-write", "sample", "nowsort"}
+	for _, jobs := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			o := opts
+			o.Jobs = jobs
+			for i := 0; i < b.N; i++ {
+				plan, err := repro.PlanExperiments([]string{"fig5b"}, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				store := repro.NewRunStore()
+				if err := repro.NewRunner(o, nil).RunInto(store, plan); err != nil {
+					b.Fatal(err)
+				}
+				tab, err := repro.RenderExperiment("fig5b", o, store)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tab.Rows) == 0 {
+					b.Fatal("empty table")
+				}
+			}
+			b.ReportMetric(float64(runtime.NumCPU()), "host-cores")
 		})
 	}
 }

@@ -1,10 +1,16 @@
 // Command repro regenerates the paper's tables and figures on the
 // simulated cluster.
 //
+// All selected experiments are merged into one deduplicated run plan and
+// executed on a bounded worker pool before any table is rendered, so
+// runs shared between artifacts (Fig 5b and Table 5, Fig 6 and Table 6,
+// every baseline) execute exactly once. Tables are bit-identical at
+// every -jobs setting; parallelism only changes wall-clock time.
+//
 // Usage:
 //
 //	repro -list
-//	repro -exp fig5b [-procs 32] [-scale 0.00390625] [-apps radix,sample]
+//	repro -exp fig5b [-procs 32] [-scale 0.00390625] [-apps radix,sample] [-jobs 8]
 //	repro -exp all -quick -csv -out results/
 package main
 
@@ -13,7 +19,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
@@ -29,8 +38,10 @@ func main() {
 		appsCSV = flag.String("apps", "", "comma-separated application subset (default: all ten)")
 		quick   = flag.Bool("quick", false, "trim sweep points for a fast pass")
 		verify  = flag.Bool("verify", false, "run application self-checks during baselines")
+		jobs    = flag.Int("jobs", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
 		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		outDir  = flag.String("out", "", "write per-experiment files into this directory")
+		quiet   = flag.Bool("quiet", false, "suppress the live progress line and run summary")
 	)
 	flag.Parse()
 
@@ -51,6 +62,7 @@ func main() {
 		Seed:   *seed,
 		Quick:  *quick,
 		Verify: *verify,
+		Jobs:   *jobs,
 	}
 	if *appsCSV != "" {
 		opts.Apps = strings.Split(*appsCSV, ",")
@@ -65,9 +77,34 @@ func main() {
 		ids = strings.Split(*expID, ",")
 	}
 
+	// Phase 1: one merged plan for every selected experiment.
+	plan, err := repro.PlanExperiments(ids, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Phase 2: execute the plan on the worker pool, narrating progress.
+	store := repro.NewRunStore()
+	if plan.Size() > 0 {
+		tracker := newTracker(*quiet)
+		runner := repro.NewRunner(opts, tracker.observe)
+		start := time.Now()
+		err := runner.RunInto(store, plan)
+		tracker.finish()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			tracker.summarize(os.Stderr, plan, time.Since(start), effectiveJobs(*jobs))
+		}
+	}
+
+	// Phase 3: render every table from the completed store.
 	for _, id := range ids {
 		start := time.Now()
-		tab, err := repro.RunExperiment(id, opts)
+		tab, err := repro.RenderExperiment(id, opts, store)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", id, err)
 			os.Exit(1)
@@ -90,10 +127,83 @@ func main() {
 				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("%-8s -> %s (%v)\n", id, path, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("%-8s -> %s (rendered in %v)\n", id, path, time.Since(start).Round(time.Millisecond))
 			continue
 		}
 		fmt.Print(body)
-		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 	}
+}
+
+func effectiveJobs(jobs int) int {
+	if jobs > 0 {
+		return jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// tracker renders the live progress line and accumulates per-run
+// wall-clock statistics.
+type tracker struct {
+	mu     sync.Mutex
+	quiet  bool
+	walls  []time.Duration
+	names  []string
+	cached int
+	wrote  bool
+}
+
+func newTracker(quiet bool) *tracker { return &tracker{quiet: quiet} }
+
+func (t *tracker) observe(p repro.RunProgress) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p.Cached {
+		t.cached++
+	} else {
+		t.walls = append(t.walls, p.Wall)
+		t.names = append(t.names, p.Spec.String())
+	}
+	if t.quiet {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "\r\033[K[%d/%d] %v (%v)", p.Done, p.Total, p.Spec, p.Wall.Round(time.Millisecond))
+	t.wrote = true
+}
+
+// finish terminates the progress line.
+func (t *tracker) finish() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wrote {
+		fmt.Fprint(os.Stderr, "\r\033[K")
+	}
+}
+
+// summarize prints executed-vs-reused counts and per-run wall statistics.
+func (t *tracker) summarize(w *os.File, plan *repro.RunPlan, wall time.Duration, jobs int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.walls) == 0 {
+		return
+	}
+	var total, max time.Duration
+	maxName := ""
+	for i, d := range t.walls {
+		total += d
+		if d > max {
+			max, maxName = d, t.names[i]
+		}
+	}
+	sorted := append([]time.Duration(nil), t.walls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	dedup := plan.Adds() - plan.Size()
+	fmt.Fprintf(w, "repro: executed %d runs in %v (jobs=%d); %d declarations deduplicated, %d store hits\n",
+		len(t.walls), wall.Round(time.Millisecond), jobs, dedup, t.cached)
+	fmt.Fprintf(w, "repro: per-run wall clock: mean %v, median %v, max %v (%s); pool busy %.0f%%\n",
+		(total / time.Duration(len(t.walls))).Round(time.Millisecond),
+		median.Round(time.Millisecond),
+		max.Round(time.Millisecond), maxName,
+		100*float64(total)/float64(wall*time.Duration(jobs)))
 }

@@ -19,6 +19,10 @@ import (
 // parameters.
 type Knob int
 
+// KnobNone marks a run on the unmodified machine — the baseline of a
+// sweep. Apply with KnobNone returns the parameters untouched.
+const KnobNone Knob = -1
+
 const (
 	// KnobO adds per-message processor overhead (µs), charged at each
 	// send and each receive.
@@ -35,6 +39,8 @@ const (
 
 func (k Knob) String() string {
 	switch k {
+	case KnobNone:
+		return "baseline"
 	case KnobO:
 		return "overhead"
 	case KnobG:
@@ -82,28 +88,21 @@ type Point struct {
 // observed slowdown is ~60x, so 300x is generous headroom.
 const LivelockFactor = 300
 
-// Sweep measures one application across a sequence of settings of one
-// knob. The baseline (unmodified machine) run provides the slowdown
-// denominator and the livelock bound.
-func Sweep(a apps.App, cfg apps.Config, k Knob, points []float64) (base apps.Result, out []Point, err error) {
-	cfg = cfg.Norm()
-	base, err = a.Run(cfg)
-	if err != nil {
-		return base, nil, fmt.Errorf("core: baseline %s: %w", a.Name(), err)
-	}
-	for _, v := range points {
-		pt, err := RunAt(a, cfg, k, v, base.Elapsed)
-		if err != nil {
-			return base, out, err
-		}
-		out = append(out, pt)
-	}
-	return base, out, nil
-}
-
 // RunAt measures a single design point. baseline provides the slowdown
 // denominator and livelock bound.
+//
+// Sweeps over many design points are declared as a run.Plan and executed
+// on the internal/run worker pool; RunAt is the leaf that pool calls.
 func RunAt(a apps.App, cfg apps.Config, k Knob, v float64, baseline sim.Time) (Point, error) {
+	pt, _, err := Measure(a, cfg, k, v, baseline)
+	return pt, err
+}
+
+// Measure is RunAt plus the full application Result of the swept run
+// (zero when livelocked), for experiments that need more than the
+// makespan — per-phase shares, communication stats — at a non-baseline
+// design point.
+func Measure(a apps.App, cfg apps.Config, k Knob, v float64, baseline sim.Time) (Point, apps.Result, error) {
 	cfg = cfg.Norm()
 	cfg.Params = k.Apply(cfg.Params, v)
 	cfg.Verify = false
@@ -112,14 +111,14 @@ func RunAt(a apps.App, cfg apps.Config, k Knob, v float64, baseline sim.Time) (P
 	pt := Point{Value: v}
 	if errors.Is(err, sim.ErrTimeLimit) {
 		pt.Livelocked = true
-		return pt, nil
+		return pt, apps.Result{}, nil
 	}
 	if err != nil {
-		return pt, fmt.Errorf("core: %s at %v=%g: %w", a.Name(), k, v, err)
+		return pt, apps.Result{}, fmt.Errorf("core: %s at %v=%g: %w", a.Name(), k, v, err)
 	}
 	pt.Elapsed = res.Elapsed
 	if baseline > 0 {
 		pt.Slowdown = float64(res.Elapsed) / float64(baseline)
 	}
-	return pt, nil
+	return pt, res, nil
 }

@@ -48,25 +48,34 @@ func TestKnobStrings(t *testing.T) {
 	}
 }
 
-func TestSweepMonotoneOverhead(t *testing.T) {
+func TestKnobNoneApplyUntouched(t *testing.T) {
+	base := logp.NOW()
+	if got := KnobNone.Apply(base, 50); got != base {
+		t.Errorf("KnobNone.Apply changed the machine: %+v", got)
+	}
+	if KnobNone.String() != "baseline" {
+		t.Errorf("KnobNone.String() = %s", KnobNone.String())
+	}
+}
+
+func TestMeasureReturnsResult(t *testing.T) {
 	cfg := apps.Config{Procs: 4, Scale: 0.0003, Seed: 1}
-	base, pts, err := Sweep(radix.New(), cfg, KnobO, []float64{0, 10, 50})
+	base, err := radix.New().Run(cfg.Norm())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if base.Elapsed == 0 {
-		t.Fatal("zero baseline")
+	pt, res, err := Measure(radix.New(), cfg, KnobO, 10, base.Elapsed)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(pts) != 3 {
-		t.Fatalf("points = %d", len(pts))
+	if pt.Slowdown <= 1 {
+		t.Errorf("Δo=10 slowdown = %v, want > 1", pt.Slowdown)
 	}
-	if pts[0].Slowdown < 0.99 || pts[0].Slowdown > 1.01 {
-		t.Errorf("Δo=0 slowdown = %v, want 1", pts[0].Slowdown)
+	if res.Elapsed != pt.Elapsed {
+		t.Errorf("Result.Elapsed %v != Point.Elapsed %v", res.Elapsed, pt.Elapsed)
 	}
-	for i := 1; i < len(pts); i++ {
-		if pts[i].Slowdown <= pts[i-1].Slowdown {
-			t.Errorf("slowdown not increasing: %v then %v", pts[i-1].Slowdown, pts[i].Slowdown)
-		}
+	if res.Stats == nil {
+		t.Error("Measure dropped the swept run's Stats")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/apps/suite"
+	"repro/internal/run"
 )
 
 // selectedApps resolves the options' application subset.
@@ -24,26 +25,24 @@ func selectedApps(o Options) ([]apps.App, error) {
 	return out, nil
 }
 
-// baseline runs one app on the unmodified machine, memoized per
-// (app, procs, scale, seed) within a harness process.
-var baselineCache = map[string]apps.Result{}
-
-func baselineRun(a apps.App, cfg apps.Config) (apps.Result, error) {
-	key := fmt.Sprintf("%s/%d/%g/%d/%v", a.Name(), cfg.Procs, cfg.Scale, cfg.Seed, cfg.Verify)
-	if res, ok := baselineCache[key]; ok {
-		return res, nil
-	}
-	res, err := a.Run(cfg)
+// table3Plan declares each application's baseline on 16 and 32 nodes.
+func table3Plan(o Options) (*run.Plan, error) {
+	o = o.Norm()
+	sel, err := selectedApps(o)
 	if err != nil {
-		return res, err
+		return nil, err
 	}
-	baselineCache[key] = res
-	return res, nil
+	p := run.NewPlan()
+	for _, a := range sel {
+		p.AddBaseline(a.Name(), 16, o.Scale, o.Seed, o.Verify)
+		p.AddBaseline(a.Name(), 32, o.Scale, o.Seed, o.Verify)
+	}
+	return p, nil
 }
 
-// Table3 reports each application's input set and base run time on 16 and
-// 32 nodes.
-func Table3(o Options) (*Table, error) {
+// table3Render reports each application's input set and base run time on
+// 16 and 32 nodes.
+func table3Render(o Options, st *run.Store) (*Table, error) {
 	o = o.Norm()
 	sel, err := selectedApps(o)
 	if err != nil {
@@ -58,20 +57,18 @@ func Table3(o Options) (*Table, error) {
 		},
 	}
 	for _, a := range sel {
-		cfg16 := o.appConfig(16)
-		cfg32 := o.appConfig(32)
-		r16, err := baselineRun(a, cfg16)
+		r16, err := st.Result(o.baselineSpec(a, 16))
 		if err != nil {
 			return nil, fmt.Errorf("%s on 16 nodes: %w", a.Name(), err)
 		}
-		r32, err := baselineRun(a, cfg32)
+		r32, err := st.Result(o.baselineSpec(a, 32))
 		if err != nil {
 			return nil, fmt.Errorf("%s on 32 nodes: %w", a.Name(), err)
 		}
 		t.Rows = append(t.Rows, []string{
 			a.PaperName(),
 			a.Description(),
-			a.InputDesc(cfg32),
+			a.InputDesc(o.appConfig(32)),
 			secs(r16.Elapsed.Seconds()),
 			secs(r32.Elapsed.Seconds()),
 		})
@@ -79,8 +76,25 @@ func Table3(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Table4 reports the per-application communication summary on 32 nodes.
-func Table4(o Options) (*Table, error) {
+// suiteBaselinePlan declares one baseline per selected app at the
+// options' cluster size (Table 4 and Figure 4 share it).
+func suiteBaselinePlan(o Options) (*run.Plan, error) {
+	o = o.Norm()
+	sel, err := selectedApps(o)
+	if err != nil {
+		return nil, err
+	}
+	p := run.NewPlan()
+	for _, a := range sel {
+		p.AddBaseline(a.Name(), o.Procs, o.Scale, o.Seed, o.Verify)
+	}
+	return p, nil
+}
+
+func table4Plan(o Options) (*run.Plan, error) { return suiteBaselinePlan(o) }
+
+// table4Render reports the per-application communication summary.
+func table4Render(o Options, st *run.Store) (*Table, error) {
 	o = o.Norm()
 	sel, err := selectedApps(o)
 	if err != nil {
@@ -96,7 +110,7 @@ func Table4(o Options) (*Table, error) {
 		},
 	}
 	for _, a := range sel {
-		res, err := baselineRun(a, o.appConfig(o.Procs))
+		res, err := st.Result(o.baselineSpec(a, o.Procs))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name(), err)
 		}
@@ -117,11 +131,13 @@ func Table4(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Fig4 renders each application's communication-balance matrix: the
-// fraction of messages from processor i to processor j as a grey-scale
-// glyph (' ' for none through '█' for the per-app maximum), plus the raw
-// counts in CSV-friendly rows.
-func Fig4(o Options) (*Table, error) {
+func fig4Plan(o Options) (*run.Plan, error) { return suiteBaselinePlan(o) }
+
+// fig4Render renders each application's communication-balance matrix:
+// the fraction of messages from processor i to processor j as a
+// grey-scale glyph (' ' for none through '█' for the per-app maximum),
+// plus the raw counts in CSV-friendly rows.
+func fig4Render(o Options, st *run.Store) (*Table, error) {
 	o = o.Norm()
 	sel, err := selectedApps(o)
 	if err != nil {
@@ -137,7 +153,7 @@ func Fig4(o Options) (*Table, error) {
 		},
 	}
 	for _, a := range sel {
-		res, err := baselineRun(a, o.appConfig(o.Procs))
+		res, err := st.Result(o.baselineSpec(a, o.Procs))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name(), err)
 		}
@@ -171,3 +187,12 @@ func Fig4(o Options) (*Table, error) {
 	}
 	return t, nil
 }
+
+// Table3 reports each application's input set and base run times.
+func Table3(o Options) (*Table, error) { return runPair(table3Plan, table3Render, o) }
+
+// Table4 reports the per-application communication summary on 32 nodes.
+func Table4(o Options) (*Table, error) { return runPair(table4Plan, table4Render, o) }
+
+// Fig4 renders the communication-balance matrices.
+func Fig4(o Options) (*Table, error) { return runPair(fig4Plan, fig4Render, o) }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/logp"
+	"repro/internal/run"
 )
 
 // Options parameterizes a harness run.
@@ -28,6 +29,10 @@ type Options struct {
 	Quick bool
 	// Verify runs each application's self-check during baseline runs.
 	Verify bool
+	// Jobs bounds concurrent simulation runs (0 = GOMAXPROCS). Tables
+	// are bit-identical at every job count; jobs only changes wall-clock
+	// time.
+	Jobs int
 }
 
 // Norm fills in defaults.
@@ -119,32 +124,108 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
-// Experiment is one reproducible paper artifact.
+// Experiment is one reproducible paper artifact, split into the two
+// halves the run engine needs: a declarative Plan of every simulation
+// the artifact requires, and a Render that builds the table from the
+// completed run store. Declaring first lets cmd/repro merge the plans of
+// many experiments and execute shared runs exactly once, on a parallel
+// worker pool.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Options) (*Table, error)
+	// Plan declares the experiment's run matrix; nil when the experiment
+	// needs no application runs (the calibration microbenchmarks).
+	Plan func(Options) (*run.Plan, error)
+	// Render builds the table from a store holding the plan's outcomes.
+	Render func(Options, *run.Store) (*Table, error)
+}
+
+// Run plans, executes (on Options.Jobs workers), and renders the
+// experiment in one call — the single-artifact convenience path.
+func (e Experiment) Run(o Options) (*Table, error) {
+	o = o.Norm()
+	st := run.NewStore()
+	if e.Plan != nil {
+		p, err := e.Plan(o)
+		if err != nil {
+			return nil, err
+		}
+		if err := DefaultRunner(o, nil).RunInto(st, p); err != nil {
+			return nil, err
+		}
+	}
+	return e.Render(o, st)
+}
+
+// DefaultRunner builds the runner experiments execute on: the paper's
+// baseline machine, Options.Jobs workers, optional progress callback.
+func DefaultRunner(o Options, onProgress func(run.Progress)) *run.Runner {
+	return &run.Runner{Jobs: o.Jobs, Params: baseParams(), OnProgress: onProgress}
+}
+
+// PlanFor merges the plans of several experiments so shared runs
+// (Fig 5b and Table 5, Fig 6 and Table 6, every baseline) are declared
+// once. Experiments with no simulation runs contribute nothing.
+func PlanFor(ids []string, o Options) (*run.Plan, error) {
+	o = o.Norm()
+	merged := run.NewPlan()
+	for _, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		if e.Plan == nil {
+			continue
+		}
+		p, err := e.Plan(o)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		merged.Merge(p)
+	}
+	return merged, nil
+}
+
+// Render builds one experiment's table from an already-executed store
+// (which must hold at least that experiment's plan).
+func Render(id string, o Options, st *run.Store) (*Table, error) {
+	e, err := ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Render(o.Norm(), st)
+}
+
+// runPair is the plan-execute-render path behind the per-artifact
+// convenience functions (Fig5b, Table5, …).
+func runPair(plan func(Options) (*run.Plan, error), render func(Options, *run.Store) (*Table, error), o Options) (*Table, error) {
+	return Experiment{Plan: plan, Render: render}.Run(o)
+}
+
+// noRuns adapts a calibration-only experiment to the Render signature.
+func noRuns(f func(Options) (*Table, error)) func(Options, *run.Store) (*Table, error) {
+	return func(o Options, _ *run.Store) (*Table, error) { return f(o) }
 }
 
 // Registry lists every experiment in paper order.
 func Registry() []Experiment {
 	return []Experiment{
-		{"table1", "Baseline LogGP parameters (NOW vs Paragon vs Meiko)", Table1},
-		{"fig3", "LogP signature: µs/message vs burst size", Fig3},
-		{"table2", "Calibration: desired vs observed o, g, L independence", Table2},
-		{"table3", "Applications, input sets, and 16/32-node base run times", Table3},
-		{"fig4", "Communication balance matrices", Fig4},
-		{"table4", "Communication summary per application", Table4},
-		{"fig5a", "Sensitivity to overhead, 16 nodes (slowdown)", Fig5a},
-		{"fig5b", "Sensitivity to overhead, 32 nodes (slowdown)", Fig5b},
-		{"table5", "Measured vs predicted run times varying overhead", Table5},
-		{"fig6", "Sensitivity to gap (slowdown)", Fig6},
-		{"table6", "Measured vs predicted run times varying gap", Table6},
-		{"fig7", "Sensitivity to latency (slowdown)", Fig7},
-		{"fig8", "Sensitivity to bulk gap (slowdown vs bandwidth)", Fig8},
-		{"ext-burst", "Extension: burstiness and the gap models", ExtBurst},
-		{"ext-tradeoff", "Extension: processor vs network investment", ExtTradeoff},
-		{"ext-phases", "Extension: Radix phase shares under overhead", ExtPhases},
+		{"table1", "Baseline LogGP parameters (NOW vs Paragon vs Meiko)", nil, noRuns(Table1)},
+		{"fig3", "LogP signature: µs/message vs burst size", nil, noRuns(Fig3)},
+		{"table2", "Calibration: desired vs observed o, g, L independence", nil, noRuns(Table2)},
+		{"table3", "Applications, input sets, and 16/32-node base run times", table3Plan, table3Render},
+		{"fig4", "Communication balance matrices", fig4Plan, fig4Render},
+		{"table4", "Communication summary per application", table4Plan, table4Render},
+		{"fig5a", "Sensitivity to overhead, 16 nodes (slowdown)", fig5aPlan, fig5aRender},
+		{"fig5b", "Sensitivity to overhead, 32 nodes (slowdown)", fig5bPlan, fig5bRender},
+		{"table5", "Measured vs predicted run times varying overhead", table5Plan, table5Render},
+		{"fig6", "Sensitivity to gap (slowdown)", fig6Plan, fig6Render},
+		{"table6", "Measured vs predicted run times varying gap", table6Plan, table6Render},
+		{"fig7", "Sensitivity to latency (slowdown)", fig7Plan, fig7Render},
+		{"fig8", "Sensitivity to bulk gap (slowdown vs bandwidth)", fig8Plan, fig8Render},
+		{"ext-burst", "Extension: burstiness and the gap models", extBurstPlan, extBurstRender},
+		{"ext-tradeoff", "Extension: processor vs network investment", extTradeoffPlan, extTradeoffRender},
+		{"ext-phases", "Extension: Radix phase shares under overhead", extPhasesPlan, extPhasesRender},
 	}
 }
 

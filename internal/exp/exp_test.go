@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/run"
 )
 
 // quickOpts keeps harness tests fast: few apps, tiny scale, trimmed sweeps.
@@ -149,6 +151,72 @@ func TestPredictedTableQuick(t *testing.T) {
 	ratio := meas / pred
 	if ratio < 0.5 || ratio > 2.0 {
 		t.Errorf("Sample measured/predicted = %.2f at Δo=100, want within 2x", ratio)
+	}
+}
+
+// TestDeterminismAcrossJobs is the run engine's core invariant: each
+// simulation is single-goroutine and deterministic, so an experiment
+// table must be byte-identical at any worker count.
+func TestDeterminismAcrossJobs(t *testing.T) {
+	o := quickOpts()
+	o.Apps = []string{"radix", "em3d-read", "nowsort"}
+	render := func(jobs int) string {
+		o := o
+		o.Jobs = jobs
+		tab, err := Fig5b(o)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return tab.Text()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("fig5b differs between jobs=1 and jobs=8:\n--- jobs=1\n%s--- jobs=8\n%s", serial, parallel)
+	}
+}
+
+// TestMergedPlanSharesRuns checks the cross-experiment reuse the old
+// global caches provided: one merged plan for Fig5b + Table5 executes
+// the overhead sweep once and renders both tables from the same store.
+func TestMergedPlanSharesRuns(t *testing.T) {
+	o := quickOpts()
+	o.Apps = []string{"radix", "nowsort"}
+	ids := []string{"fig5b", "table5"}
+	plan, err := PlanFor(ids, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 apps × (1 baseline + 3 quick points); table5 adds nothing new.
+	if plan.Size() != 8 {
+		t.Errorf("merged plan size = %d, want 8", plan.Size())
+	}
+	if plan.Adds() <= plan.Size() {
+		t.Errorf("Adds() = %d, want > Size() (table5 duplicates fig5b)", plan.Adds())
+	}
+	st := run.NewStore()
+	if err := DefaultRunner(o, nil).RunInto(st, plan); err != nil {
+		t.Fatal(err)
+	}
+	executed, _ := st.Stats()
+	if executed != plan.Size() {
+		t.Errorf("executed %d runs, want %d", executed, plan.Size())
+	}
+	for _, id := range ids {
+		tab, err := Render(id, o, st)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", id)
+		}
+	}
+	// Rendering again from the store must not need new runs.
+	if _, err := Render("fig5b", o, st); err != nil {
+		t.Fatal(err)
+	}
+	if executedAfter, _ := st.Stats(); executedAfter != executed {
+		t.Errorf("re-render executed runs: %d -> %d", executed, executedAfter)
 	}
 }
 

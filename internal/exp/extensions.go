@@ -6,29 +6,48 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/run"
 	"repro/internal/sim"
 )
 
-// ExtBurst tests the paper's §5.2 burstiness claim directly. The paper
-// infers from the linear gap response that "communication tends to be
-// very bursty, rather than spaced at even intervals"; with the
-// send-interval histograms we can measure it: the fraction of messages
-// issued within 2·g of the previous send, the mean interval, and how the
-// burst and uniform gap models compare against a measured mid-sweep
-// point.
-func ExtBurst(o Options) (*Table, error) {
+// extBurstGap is the mid-sweep gap point (µs) ExtBurst measures at; it
+// is one of Fig 6's points (also surviving Quick trimming), so a merged
+// plan reuses that run.
+const extBurstGap = 24.2
+
+// extBurstPlan declares a baseline plus one gap design point per app.
+func extBurstPlan(o Options) (*run.Plan, error) {
 	o = o.Norm()
 	sel, err := selectedApps(o)
 	if err != nil {
 		return nil, err
 	}
-	const dG = 24.2 // mid-sweep gap point, µs
+	p := run.NewPlan()
+	for _, a := range sel {
+		p.AddSweep(o.sweepSpec(a, o.Procs, core.KnobG, extBurstGap), o.Verify)
+	}
+	return p, nil
+}
+
+// extBurstRender tests the paper's §5.2 burstiness claim directly. The
+// paper infers from the linear gap response that "communication tends to
+// be very bursty, rather than spaced at even intervals"; with the
+// send-interval histograms we can measure it: the fraction of messages
+// issued within 2·g of the previous send, the mean interval, and how the
+// burst and uniform gap models compare against a measured mid-sweep
+// point.
+func extBurstRender(o Options, st *run.Store) (*Table, error) {
+	o = o.Norm()
+	sel, err := selectedApps(o)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:    "ext-burst",
 		Title: "Burstiness and the gap models (extension of §5.2)",
 		Columns: []string{
 			"Program", "mean send int.(µs)", "≤2g bursts",
-			fmt.Sprintf("meas@Δg=%.0f (s)", dG), "burst pred(s)", "uniform pred(s)",
+			fmt.Sprintf("meas@Δg=%.0f (s)", extBurstGap), "burst pred(s)", "uniform pred(s)",
 		},
 		Notes: []string{
 			"'≤2g bursts': fraction of sends issued within 2·g of the previous send",
@@ -36,11 +55,11 @@ func ExtBurst(o Options) (*Table, error) {
 		},
 	}
 	for _, a := range sel {
-		base, err := baselineRun(a, o.appConfig(o.Procs))
+		base, err := st.Result(o.baselineSpec(a, o.Procs))
 		if err != nil {
 			return nil, err
 		}
-		pt, err := sweepRun(a, o, o.Procs, core.KnobG, dG, base)
+		pt, err := st.Point(o.sweepSpec(a, o.Procs, core.KnobG, extBurstGap))
 		if err != nil {
 			return nil, err
 		}
@@ -48,8 +67,8 @@ func ExtBurst(o Options) (*Table, error) {
 		interval := base.Stats.MeanSendInterval()
 		g := o.appConfig(o.Procs).Params.EffGap()
 		burstFrac := base.Stats.BurstFraction(2 * g)
-		burstPred := model.GapBurst(base.Elapsed, m, sim.FromMicros(dG))
-		uniformPred := model.GapUniform(base.Elapsed, m, g+sim.FromMicros(dG), interval)
+		burstPred := model.GapBurst(base.Elapsed, m, sim.FromMicros(extBurstGap))
+		uniformPred := model.GapUniform(base.Elapsed, m, g+sim.FromMicros(extBurstGap), interval)
 		meas := "N/A"
 		if !pt.Livelocked {
 			meas = secs(pt.Elapsed.Seconds())
@@ -66,25 +85,56 @@ func ExtBurst(o Options) (*Table, error) {
 	return t, nil
 }
 
-// ExtTradeoff quantifies the paper's closing observation (§5.5): "rather
-// than making a significant investment to double a machine's processing
-// capacity, the investment may be better directed toward improving the
-// communication system." Starting from a machine with LAN-class added
-// overhead, it compares doubling the CPU speed against halving the total
-// per-message overhead.
-func ExtTradeoff(o Options) (*Table, error) {
+// ExtTradeoff's design points (§5.5): a machine degraded by Δo=20µs, the
+// same machine with doubled CPU speed, and the same machine with the
+// total per-message overhead halved instead.
+const (
+	tradeoffAddedO = 20.0 // µs, the degraded starting design point
+	tradeoffBaseO  = 2.9  // NOW's o
+)
+
+func tradeoffSpecs(o Options, a apps.App) (degraded, fastCPU, fastNet run.Spec) {
+	halvedDelta := (tradeoffBaseO+tradeoffAddedO)/2 - tradeoffBaseO
+	degraded = o.sweepSpec(a, o.Procs, core.KnobO, tradeoffAddedO)
+	fastCPU = degraded
+	fastCPU.CPUSpeedup = 2
+	fastNet = o.sweepSpec(a, o.Procs, core.KnobO, halvedDelta)
+	return degraded, fastCPU, fastNet
+}
+
+// extTradeoffPlan declares the three design points per app (plus the
+// shared unmodified baseline that bounds their livelock detection).
+func extTradeoffPlan(o Options) (*run.Plan, error) {
 	o = o.Norm()
 	sel, err := selectedApps(o)
 	if err != nil {
 		return nil, err
 	}
-	const addedO = 20.0 // µs, the degraded starting design point
-	baseO := 2.9        // NOW's o
-	halvedDelta := (baseO+addedO)/2 - baseO
+	p := run.NewPlan()
+	for _, a := range sel {
+		degraded, fastCPU, fastNet := tradeoffSpecs(o, a)
+		p.AddSweep(degraded, o.Verify)
+		p.AddSweep(fastCPU, o.Verify)
+		p.AddSweep(fastNet, o.Verify)
+	}
+	return p, nil
+}
 
+// extTradeoffRender quantifies the paper's closing observation (§5.5):
+// "rather than making a significant investment to double a machine's
+// processing capacity, the investment may be better directed toward
+// improving the communication system." Starting from a machine with
+// LAN-class added overhead, it compares doubling the CPU speed against
+// halving the total per-message overhead.
+func extTradeoffRender(o Options, st *run.Store) (*Table, error) {
+	o = o.Norm()
+	sel, err := selectedApps(o)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:    "ext-tradeoff",
-		Title: fmt.Sprintf("Processor vs network investment from o=%.1fµs (extension of §5.5)", baseO+addedO),
+		Title: fmt.Sprintf("Processor vs network investment from o=%.1fµs (extension of §5.5)", tradeoffBaseO+tradeoffAddedO),
 		Columns: []string{
 			"Program", "degraded (s)", "2x CPU speedup", "o/2 speedup", "better investment",
 		},
@@ -94,23 +144,22 @@ func ExtTradeoff(o Options) (*Table, error) {
 		},
 	}
 	for _, a := range sel {
-		mkCfg := func(cpu float64, dO float64) apps.Config {
-			cfg := o.appConfig(o.Procs)
-			cfg.Params = core.KnobO.Apply(cfg.Params, dO)
-			cfg.CPUSpeedup = cpu
-			return cfg
-		}
-		degraded, err := a.Run(mkCfg(1, addedO))
+		dSpec, cSpec, nSpec := tradeoffSpecs(o, a)
+		degraded, err := st.Point(dSpec)
 		if err != nil {
 			return nil, fmt.Errorf("%s degraded: %w", a.Name(), err)
 		}
-		fastCPU, err := a.Run(mkCfg(2, addedO))
+		fastCPU, err := st.Point(cSpec)
 		if err != nil {
 			return nil, fmt.Errorf("%s 2xCPU: %w", a.Name(), err)
 		}
-		fastNet, err := a.Run(mkCfg(1, halvedDelta))
+		fastNet, err := st.Point(nSpec)
 		if err != nil {
 			return nil, fmt.Errorf("%s o/2: %w", a.Name(), err)
+		}
+		if degraded.Livelocked || fastCPU.Livelocked || fastNet.Livelocked {
+			t.Rows = append(t.Rows, []string{a.PaperName(), "N/A", "N/A", "N/A", "N/A"})
+			continue
 		}
 		cpuSpeed := float64(degraded.Elapsed) / float64(fastCPU.Elapsed)
 		netSpeed := float64(degraded.Elapsed) / float64(fastNet.Elapsed)
@@ -129,11 +178,34 @@ func ExtTradeoff(o Options) (*Table, error) {
 	return t, nil
 }
 
-// ExtPhases reproduces the paper's §5.1 dissection of Radix's
-// hypersensitivity: the serialized global-histogram phase consumes ~20% of
-// the run at baseline overhead but ~60% at Δo=100 µs (and far less on 16
-// nodes, since the serialization scales with radix × P).
-func ExtPhases(o Options) (*Table, error) {
+// ExtPhases' grid: Radix at two cluster sizes under three overheads.
+var extPhasesOverheads = []float64{0, 20, 100}
+
+func extPhasesProcs(o Options) []int { return []int{16, o.Procs} }
+
+// extPhasesPlan declares the Radix runs; the Δo points are ordinary
+// overhead design points, so the 32-node ones are shared with Fig 5b's
+// sweep in a merged plan.
+func extPhasesPlan(o Options) (*run.Plan, error) {
+	o = o.Norm()
+	a, err := suiteApp("radix")
+	if err != nil {
+		return nil, err
+	}
+	p := run.NewPlan()
+	for _, procs := range extPhasesProcs(o) {
+		for _, dO := range extPhasesOverheads {
+			p.AddSweep(o.sweepSpec(a, procs, core.KnobO, dO), o.Verify)
+		}
+	}
+	return p, nil
+}
+
+// extPhasesRender reproduces the paper's §5.1 dissection of Radix's
+// hypersensitivity: the serialized global-histogram phase consumes ~20%
+// of the run at baseline overhead but ~60% at Δo=100 µs (and far less on
+// 16 nodes, since the serialization scales with radix × P).
+func extPhasesRender(o Options, st *run.Store) (*Table, error) {
 	o = o.Norm()
 	a, err := suiteApp("radix")
 	if err != nil {
@@ -150,11 +222,9 @@ func ExtPhases(o Options) (*Table, error) {
 			"60% at o=100µs, but only 16% of the 16-node run at o=100µs",
 		},
 	}
-	for _, procs := range []int{16, o.Procs} {
-		for _, dO := range []float64{0, 20, 100} {
-			cfg := o.appConfig(procs)
-			cfg.Params = core.KnobO.Apply(cfg.Params, dO)
-			res, err := a.Run(cfg)
+	for _, procs := range extPhasesProcs(o) {
+		for _, dO := range extPhasesOverheads {
+			res, err := st.Result(o.sweepSpec(a, procs, core.KnobO, dO))
 			if err != nil {
 				return nil, err
 			}
@@ -169,6 +239,15 @@ func ExtPhases(o Options) (*Table, error) {
 	}
 	return t, nil
 }
+
+// ExtBurst measures burstiness against the gap models.
+func ExtBurst(o Options) (*Table, error) { return runPair(extBurstPlan, extBurstRender, o) }
+
+// ExtTradeoff compares processor against network investment.
+func ExtTradeoff(o Options) (*Table, error) { return runPair(extTradeoffPlan, extTradeoffRender, o) }
+
+// ExtPhases dissects Radix's phase shares under overhead.
+func ExtPhases(o Options) (*Table, error) { return runPair(extPhasesPlan, extPhasesRender, o) }
 
 // suiteApp resolves one application by name (thin wrapper so extension
 // experiments read naturally).

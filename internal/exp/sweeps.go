@@ -6,6 +6,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/run"
 	"repro/internal/sim"
 )
 
@@ -22,30 +23,45 @@ func quickTrim(points []float64) []float64 {
 	return []float64{points[0], points[len(points)/2], points[len(points)-1]}
 }
 
-// sweepCache memoizes swept runs across experiments (Table 5 reuses
-// Figure 5b's runs, Table 6 reuses Figure 6's).
-var sweepCache = map[string]core.Point{}
-
-// sweepRun measures one app at one design point, memoized.
-func sweepRun(a apps.App, o Options, procs int, k core.Knob, v float64, base apps.Result) (core.Point, error) {
-	key := fmt.Sprintf("%s/%d/%g/%d/%d/%g", a.Name(), procs, o.Scale, o.Seed, k, v)
-	if pt, ok := sweepCache[key]; ok {
-		return pt, nil
+func (o Options) sweepPoints(points []float64) []float64 {
+	if o.Quick {
+		return quickTrim(points)
 	}
-	pt, err := core.RunAt(a, o.appConfig(procs), k, v, base.Elapsed)
-	if err != nil {
-		return pt, err
-	}
-	sweepCache[key] = pt
-	return pt, nil
+	return points
 }
 
-// slowdownTable runs the suite across a sweep and renders slowdowns.
-func slowdownTable(id, title, unit string, o Options, procs int, k core.Knob, points []float64) (*Table, error) {
+// baselineSpec is the canonical unmodified-machine run for an app under
+// these options.
+func (o Options) baselineSpec(a apps.App, procs int) run.Spec {
+	return run.Baseline(a.Name(), procs, o.Scale, o.Seed, o.Verify)
+}
+
+// sweepSpec is the canonical design-point run for an app under these
+// options.
+func (o Options) sweepSpec(a apps.App, procs int, k core.Knob, v float64) run.Spec {
+	return run.Spec{App: a.Name(), Procs: procs, Scale: o.Scale, Seed: o.Seed, Knob: k, Value: v}
+}
+
+// slowdownPlan declares the run matrix of one Figure 5–8 sweep: a
+// baseline per app plus every (app × point) design point.
+func slowdownPlan(o Options, procs int, k core.Knob, points []float64) (*run.Plan, error) {
 	o = o.Norm()
-	if o.Quick {
-		points = quickTrim(points)
+	sel, err := selectedApps(o)
+	if err != nil {
+		return nil, err
 	}
+	p := run.NewPlan()
+	for _, a := range sel {
+		for _, v := range o.sweepPoints(points) {
+			p.AddSweep(o.sweepSpec(a, procs, k, v), o.Verify)
+		}
+	}
+	return p, nil
+}
+
+// slowdownRender renders a completed sweep as a slowdown table.
+func slowdownRender(id, title, unit string, o Options, st *run.Store, procs int, k core.Knob, points []float64) (*Table, error) {
+	o = o.Norm()
 	sel, err := selectedApps(o)
 	if err != nil {
 		return nil, err
@@ -55,17 +71,10 @@ func slowdownTable(id, title, unit string, o Options, procs int, k core.Knob, po
 	for _, a := range sel {
 		t.Columns = append(t.Columns, a.PaperName())
 	}
-	baselines := make([]apps.Result, len(sel))
-	for i, a := range sel {
-		baselines[i], err = baselineRun(a, o.appConfig(procs))
-		if err != nil {
-			return nil, fmt.Errorf("baseline %s: %w", a.Name(), err)
-		}
-	}
-	for _, v := range points {
+	for _, v := range o.sweepPoints(points) {
 		row := []string{f1(v)}
-		for i, a := range sel {
-			pt, err := sweepRun(a, o, procs, k, v, baselines[i])
+		for _, a := range sel {
+			pt, err := st.Point(o.sweepSpec(a, procs, k, v))
 			if err != nil {
 				return nil, err
 			}
@@ -83,42 +92,85 @@ func slowdownTable(id, title, unit string, o Options, procs int, k core.Knob, po
 	return t, nil
 }
 
-// Fig5a is the overhead sensitivity sweep on 16 nodes.
-func Fig5a(o Options) (*Table, error) {
-	return slowdownTable("fig5a", "Slowdown vs added overhead (16 nodes)", "Δo(µs)", o, 16, core.KnobO, overheadPoints)
+// Plan/Render pairs for the four sensitivity sweeps. Fig 5a is the only
+// 16-node sweep; the rest run at the options' cluster size.
+
+func fig5aPlan(o Options) (*run.Plan, error) {
+	return slowdownPlan(o, 16, core.KnobO, overheadPoints)
 }
+
+func fig5aRender(o Options, st *run.Store) (*Table, error) {
+	return slowdownRender("fig5a", "Slowdown vs added overhead (16 nodes)", "Δo(µs)", o, st, 16, core.KnobO, overheadPoints)
+}
+
+func fig5bPlan(o Options) (*run.Plan, error) {
+	o = o.Norm()
+	return slowdownPlan(o, o.Procs, core.KnobO, overheadPoints)
+}
+
+func fig5bRender(o Options, st *run.Store) (*Table, error) {
+	o = o.Norm()
+	return slowdownRender("fig5b", "Slowdown vs added overhead (32 nodes)", "Δo(µs)", o, st, o.Procs, core.KnobO, overheadPoints)
+}
+
+func fig6Plan(o Options) (*run.Plan, error) {
+	o = o.Norm()
+	return slowdownPlan(o, o.Procs, core.KnobG, gapPoints)
+}
+
+func fig6Render(o Options, st *run.Store) (*Table, error) {
+	o = o.Norm()
+	return slowdownRender("fig6", "Slowdown vs added gap (32 nodes)", "Δg(µs)", o, st, o.Procs, core.KnobG, gapPoints)
+}
+
+func fig7Plan(o Options) (*run.Plan, error) {
+	o = o.Norm()
+	return slowdownPlan(o, o.Procs, core.KnobL, latencyPoints)
+}
+
+func fig7Render(o Options, st *run.Store) (*Table, error) {
+	o = o.Norm()
+	return slowdownRender("fig7", "Slowdown vs added latency (32 nodes)", "ΔL(µs)", o, st, o.Procs, core.KnobL, latencyPoints)
+}
+
+func fig8Plan(o Options) (*run.Plan, error) {
+	o = o.Norm()
+	return slowdownPlan(o, o.Procs, core.KnobBW, bulkBWPoints)
+}
+
+func fig8Render(o Options, st *run.Store) (*Table, error) {
+	o = o.Norm()
+	return slowdownRender("fig8", "Slowdown vs bulk bandwidth (32 nodes)", "MB/s", o, st, o.Procs, core.KnobBW, bulkBWPoints)
+}
+
+// Fig5a is the overhead sensitivity sweep on 16 nodes.
+func Fig5a(o Options) (*Table, error) { return runPair(fig5aPlan, fig5aRender, o) }
 
 // Fig5b is the overhead sensitivity sweep on 32 nodes.
-func Fig5b(o Options) (*Table, error) {
-	o = o.Norm()
-	return slowdownTable("fig5b", "Slowdown vs added overhead (32 nodes)", "Δo(µs)", o, o.Procs, core.KnobO, overheadPoints)
-}
+func Fig5b(o Options) (*Table, error) { return runPair(fig5bPlan, fig5bRender, o) }
 
 // Fig6 is the gap sensitivity sweep.
-func Fig6(o Options) (*Table, error) {
-	o = o.Norm()
-	return slowdownTable("fig6", "Slowdown vs added gap (32 nodes)", "Δg(µs)", o, o.Procs, core.KnobG, gapPoints)
-}
+func Fig6(o Options) (*Table, error) { return runPair(fig6Plan, fig6Render, o) }
 
 // Fig7 is the latency sensitivity sweep.
-func Fig7(o Options) (*Table, error) {
-	o = o.Norm()
-	return slowdownTable("fig7", "Slowdown vs added latency (32 nodes)", "ΔL(µs)", o, o.Procs, core.KnobL, latencyPoints)
-}
+func Fig7(o Options) (*Table, error) { return runPair(fig7Plan, fig7Render, o) }
 
 // Fig8 is the bulk-bandwidth sensitivity sweep.
-func Fig8(o Options) (*Table, error) {
+func Fig8(o Options) (*Table, error) { return runPair(fig8Plan, fig8Render, o) }
+
+// predictedPlan declares the measured-vs-predicted matrix for one knob:
+// the same specs as the corresponding slowdown sweep at the options'
+// cluster size, so Table 5 shares every run with Fig 5b and Table 6 with
+// Fig 6 when their plans are merged.
+func predictedPlan(o Options, k core.Knob, points []float64) (*run.Plan, error) {
 	o = o.Norm()
-	return slowdownTable("fig8", "Slowdown vs bulk bandwidth (32 nodes)", "MB/s", o, o.Procs, core.KnobBW, bulkBWPoints)
+	return slowdownPlan(o, o.Procs, k, points)
 }
 
-// predictedTable renders measured-vs-predicted run times for one knob.
-func predictedTable(id, title, unit string, o Options, k core.Knob, points []float64,
+// predictedRender renders measured-vs-predicted run times for one knob.
+func predictedRender(id, title, unit string, o Options, st *run.Store, k core.Knob, points []float64,
 	predict func(r0 sim.Time, m int64, added sim.Time) sim.Time) (*Table, error) {
 	o = o.Norm()
-	if o.Quick {
-		points = quickTrim(points)
-	}
 	sel, err := selectedApps(o)
 	if err != nil {
 		return nil, err
@@ -134,17 +186,17 @@ func predictedTable(id, title, unit string, o Options, k core.Knob, points []flo
 	}
 	bases := make([]appBase, len(sel))
 	for i, a := range sel {
-		res, err := baselineRun(a, o.appConfig(o.Procs))
+		res, err := st.Result(o.baselineSpec(a, o.Procs))
 		if err != nil {
 			return nil, err
 		}
 		m, _ := res.Stats.MaxPerProc()
 		bases[i] = appBase{res: res, m: m}
 	}
-	for _, v := range points {
+	for _, v := range o.sweepPoints(points) {
 		row := []string{f1(v)}
 		for i, a := range sel {
-			pt, err := sweepRun(a, o, o.Procs, k, v, bases[i].res)
+			pt, err := st.Point(o.sweepSpec(a, o.Procs, k, v))
 			if err != nil {
 				return nil, err
 			}
@@ -162,16 +214,28 @@ func predictedTable(id, title, unit string, o Options, k core.Knob, points []flo
 	return t, nil
 }
 
+func table5Plan(o Options) (*run.Plan, error) {
+	return predictedPlan(o, core.KnobO, overheadPoints)
+}
+
+func table5Render(o Options, st *run.Store) (*Table, error) {
+	return predictedRender("table5", "Measured vs predicted, varying overhead (32 nodes)",
+		"Δo(µs)", o, st, core.KnobO, overheadPoints, model.Overhead)
+}
+
+func table6Plan(o Options) (*run.Plan, error) {
+	return predictedPlan(o, core.KnobG, gapPoints)
+}
+
+func table6Render(o Options, st *run.Store) (*Table, error) {
+	return predictedRender("table6", "Measured vs predicted, varying gap (32 nodes)",
+		"Δg(µs)", o, st, core.KnobG, gapPoints, model.GapBurst)
+}
+
 // Table5 compares measured run times against the overhead model
 // r = r0 + 2·m·Δo.
-func Table5(o Options) (*Table, error) {
-	return predictedTable("table5", "Measured vs predicted, varying overhead (32 nodes)",
-		"Δo(µs)", o, core.KnobO, overheadPoints, model.Overhead)
-}
+func Table5(o Options) (*Table, error) { return runPair(table5Plan, table5Render, o) }
 
 // Table6 compares measured run times against the burst gap model
 // r = r0 + m·Δg.
-func Table6(o Options) (*Table, error) {
-	return predictedTable("table6", "Measured vs predicted, varying gap (32 nodes)",
-		"Δg(µs)", o, core.KnobG, gapPoints, model.GapBurst)
-}
+func Table6(o Options) (*Table, error) { return runPair(table6Plan, table6Render, o) }

@@ -1,0 +1,203 @@
+package run
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/radix"
+	"repro/internal/core"
+)
+
+func testSpec(v float64) Spec {
+	return Spec{App: "radix", Procs: 4, Scale: 0.0003, Seed: 1, Knob: core.KnobO, Value: v}
+}
+
+func TestSpecNormalization(t *testing.T) {
+	// CPUSpeedup 1 and 0 are the same run; swept specs never verify;
+	// baselines carry no knob value.
+	a := Spec{App: "radix", Procs: 4, Scale: 0.5, Seed: 1, Knob: core.KnobO, Value: 10, Verify: true, CPUSpeedup: 1}
+	b := Spec{App: "radix", Procs: 4, Scale: 0.5, Seed: 1, Knob: core.KnobO, Value: 10}
+	if a.norm() != b.norm() {
+		t.Errorf("%+v and %+v should normalize equal", a.norm(), b.norm())
+	}
+	base := Spec{App: "radix", Procs: 4, Scale: 0.5, Seed: 1, Knob: core.KnobNone, Value: 99}.norm()
+	if base.Value != 0 || !base.IsBaseline() {
+		t.Errorf("baseline did not drop its value: %+v", base)
+	}
+}
+
+func TestPlanDedupAndDependencies(t *testing.T) {
+	p := NewPlan()
+	s := p.AddSweep(testSpec(10), false)
+	p.AddSweep(testSpec(10), false) // duplicate
+	p.AddSweep(testSpec(50), false)
+	// 2 sweeps + 1 shared baseline.
+	if p.Size() != 3 {
+		t.Fatalf("plan size = %d, want 3", p.Size())
+	}
+	if p.Adds() <= p.Size() {
+		t.Errorf("Adds() = %d, want > Size() for a deduplicated plan", p.Adds())
+	}
+	b, ok := p.BaselineOf(s)
+	if !ok || !b.IsBaseline() || b.App != "radix" {
+		t.Fatalf("BaselineOf = %+v, %v", b, ok)
+	}
+
+	q := NewPlan()
+	q.AddSweep(testSpec(10), false) // shared with p
+	q.AddSweep(testSpec(100), false)
+	merged := NewPlan()
+	merged.Merge(p)
+	merged.Merge(q)
+	// baseline + {10, 50, 100}.
+	if merged.Size() != 4 {
+		t.Errorf("merged size = %d, want 4", merged.Size())
+	}
+	if _, ok := merged.BaselineOf(testSpec(100)); !ok {
+		t.Error("merge dropped q's baseline dependency")
+	}
+}
+
+func TestRunnerExecutesPlan(t *testing.T) {
+	p := NewPlan()
+	specs := []Spec{
+		p.AddSweep(testSpec(0), false),
+		p.AddSweep(testSpec(10), false),
+		p.AddSweep(testSpec(50), false),
+	}
+	var mu sync.Mutex
+	var events []Progress
+	r := &Runner{Jobs: 4, OnProgress: func(pr Progress) {
+		mu.Lock()
+		events = append(events, pr)
+		mu.Unlock()
+	}}
+	st, err := r.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := st.Result(specs[0].BaselineSpec(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Elapsed == 0 {
+		t.Fatal("zero baseline")
+	}
+	var prev float64
+	for _, s := range specs {
+		pt, err := st.Point(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Slowdown <= prev {
+			t.Errorf("slowdown not increasing at Δo=%g: %v after %v", s.Value, pt.Slowdown, prev)
+		}
+		prev = pt.Slowdown
+	}
+	if len(events) != p.Size() {
+		t.Errorf("progress reported %d runs, want %d", len(events), p.Size())
+	}
+	last := events[len(events)-1]
+	if last.Done != p.Size() || last.Total != p.Size() {
+		t.Errorf("final progress = %d/%d, want %d/%d", last.Done, last.Total, p.Size(), p.Size())
+	}
+}
+
+func TestStoreSingleflightAcrossPlans(t *testing.T) {
+	p := NewPlan()
+	p.AddSweep(testSpec(10), false)
+	r := &Runner{Jobs: 2}
+	st, err := r.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed, hits := st.Stats()
+	if executed != 2 || hits != 0 {
+		t.Fatalf("first plan: executed %d, hits %d", executed, hits)
+	}
+	// A second, overlapping plan against the same store executes only the
+	// new design point.
+	q := NewPlan()
+	q.AddSweep(testSpec(10), false)
+	q.AddSweep(testSpec(50), false)
+	if err := r.RunInto(st, q); err != nil {
+		t.Fatal(err)
+	}
+	executed, hits = st.Stats()
+	if executed != 3 {
+		t.Errorf("executed %d runs total, want 3 (baseline, Δo=10, Δo=50)", executed)
+	}
+	if hits != 2 {
+		t.Errorf("hits = %d, want 2 (shared baseline and Δo=10)", hits)
+	}
+}
+
+func TestRunnerReportsUnknownApp(t *testing.T) {
+	p := NewPlan()
+	p.AddBaseline("no-such-app", 4, 0.0003, 1, false)
+	st, err := (&Runner{}).Run(p)
+	if err == nil {
+		t.Fatal("unknown app did not error")
+	}
+	out, ok := st.Get(Baseline("no-such-app", 4, 0.0003, 1, false))
+	if !ok || out.Err == nil {
+		t.Errorf("store outcome = %+v, %v; want recorded error", out, ok)
+	}
+}
+
+func TestStoreUnplannedSpec(t *testing.T) {
+	st := NewStore()
+	if _, err := st.Result(testSpec(10)); err == nil {
+		t.Error("Result on an unplanned spec should error")
+	}
+	if _, err := st.Point(testSpec(10)); err == nil {
+		t.Error("Point on an unplanned spec should error")
+	}
+}
+
+func TestSweepMonotoneOverhead(t *testing.T) {
+	// The parallel successor of the old serial core.Sweep keeps its
+	// contract: baseline denominator, monotone slowdowns, jobs-invariant.
+	cfg := apps.Config{Procs: 4, Scale: 0.0003, Seed: 1}
+	base, pts, err := Sweep(radix.New(), cfg, core.KnobO, []float64{0, 10, 50}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Elapsed == 0 {
+		t.Fatal("zero baseline")
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Slowdown < 0.99 || pts[0].Slowdown > 1.01 {
+		t.Errorf("Δo=0 slowdown = %v, want 1", pts[0].Slowdown)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Slowdown <= pts[i-1].Slowdown {
+			t.Errorf("slowdown not increasing: %v then %v", pts[i-1].Slowdown, pts[i].Slowdown)
+		}
+	}
+	// And the same sweep serially must agree exactly.
+	_, serial, err := Sweep(radix.New(), cfg, core.KnobO, []float64{0, 10, 50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if pts[i] != serial[i] {
+			t.Errorf("point %d differs across job counts: %+v vs %+v", i, pts[i], serial[i])
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	for s, want := range map[Spec]string{
+		Baseline("radix", 32, 0.5, 1, false): "radix/p32 baseline",
+		testSpec(20):                         "radix/p4 overhead=20",
+	} {
+		if got := fmt.Sprint(s); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

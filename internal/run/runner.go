@@ -1,0 +1,231 @@
+package run
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/apps/suite"
+	"repro/internal/core"
+	"repro/internal/logp"
+)
+
+// Progress reports one completed run to the Runner's callback.
+type Progress struct {
+	// Done runs out of Total in the current plan (cached ones included).
+	Done, Total int
+	// Spec identifies the run that just completed.
+	Spec Spec
+	// Cached is true when the run was already in the store (a shared run
+	// another experiment declared, or a duplicate claimed in flight).
+	Cached bool
+	// Wall is the real time the run took (zero when cached).
+	Wall time.Duration
+	// Err is the run's error, if any.
+	Err error
+}
+
+// Runner executes Plans on a bounded worker pool. The zero value runs on
+// the Berkeley NOW machine with GOMAXPROCS workers.
+type Runner struct {
+	// Jobs bounds concurrent simulations; 0 means runtime.GOMAXPROCS(0).
+	Jobs int
+	// Params is the machine every run starts from; zero means logp.NOW().
+	Params logp.Params
+	// Resolve maps an application name to its implementation; nil means
+	// the paper suite (suite.ByName).
+	Resolve func(string) (apps.App, error)
+	// OnProgress, when non-nil, observes every completed run. It is
+	// called from worker goroutines, one call at a time.
+	OnProgress func(Progress)
+}
+
+func (r *Runner) jobs() int {
+	if r.Jobs > 0 {
+		return r.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (r *Runner) params() logp.Params {
+	if r.Params == (logp.Params{}) {
+		return logp.NOW()
+	}
+	return r.Params
+}
+
+func (r *Runner) resolve(name string) (apps.App, error) {
+	if r.Resolve != nil {
+		return r.Resolve(name)
+	}
+	return suite.ByName(name)
+}
+
+// Run executes a plan into a fresh store and returns it. The returned
+// error is the first failed run in plan order (every run still executes,
+// so partial results remain inspectable through the store).
+func (r *Runner) Run(p *Plan) (*Store, error) {
+	st := NewStore()
+	err := r.RunInto(st, p)
+	return st, err
+}
+
+// RunInto executes a plan against an existing store, skipping (and
+// counting as cache hits) any runs the store already holds. Baselines
+// run first — they provide every swept run's slowdown denominator and
+// livelock bound — then all swept runs, each wave on the bounded pool.
+func (r *Runner) RunInto(st *Store, p *Plan) error {
+	var baselines, sweeps []Spec
+	for _, s := range p.Specs() {
+		if s.IsBaseline() {
+			baselines = append(baselines, s)
+		} else {
+			sweeps = append(sweeps, s)
+		}
+	}
+	prog := &progress{total: p.Size(), fn: r.OnProgress}
+	r.wave(st, baselines, prog, func(s Spec) Outcome { return r.runBaseline(s) })
+	r.wave(st, sweeps, prog, func(s Spec) Outcome { return r.runSweep(st, p, s) })
+	for _, s := range p.Specs() {
+		if out, ok := st.Get(s); ok && out.Err != nil {
+			return fmt.Errorf("run: %v: %w", s, out.Err)
+		}
+	}
+	return nil
+}
+
+// progress serializes OnProgress calls and the done count.
+type progress struct {
+	mu    sync.Mutex
+	done  int
+	total int
+	fn    func(Progress)
+}
+
+func (pr *progress) report(s Spec, cached bool, wall time.Duration, err error) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	pr.done++
+	if pr.fn != nil {
+		pr.fn(Progress{Done: pr.done, Total: pr.total, Spec: s, Cached: cached, Wall: wall, Err: err})
+	}
+}
+
+// wave runs one batch of specs on the worker pool.
+func (r *Runner) wave(st *Store, specs []Spec, prog *progress, exec func(Spec) Outcome) {
+	if len(specs) == 0 {
+		return
+	}
+	jobs := r.jobs()
+	if jobs > len(specs) {
+		jobs = len(specs)
+	}
+	work := make(chan Spec)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				e, owned := st.claim(s)
+				if !owned {
+					out := st.wait(e)
+					prog.report(s, true, 0, out.Err)
+					continue
+				}
+				start := time.Now()
+				out := exec(s)
+				st.complete(e, out)
+				prog.report(s, false, time.Since(start), out.Err)
+			}
+		}()
+	}
+	for _, s := range specs {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+}
+
+// runBaseline executes an unmodified-machine run.
+func (r *Runner) runBaseline(s Spec) Outcome {
+	out := Outcome{Spec: s}
+	a, err := r.resolve(s.App)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	res, err := a.Run(s.Config(r.params()))
+	if err != nil {
+		out.Err = fmt.Errorf("baseline %s: %w", a.Name(), err)
+		return out
+	}
+	out.Res = res
+	out.Point = core.Point{Elapsed: res.Elapsed, Slowdown: 1}
+	return out
+}
+
+// runSweep executes one design point against its completed baseline.
+func (r *Runner) runSweep(st *Store, p *Plan, s Spec) Outcome {
+	out := Outcome{Spec: s}
+	base, ok := p.BaselineOf(s)
+	if !ok {
+		out.Err = fmt.Errorf("run: %v has no declared baseline (use Plan.AddSweep)", s)
+		return out
+	}
+	baseOut, ok := st.Get(base)
+	if !ok {
+		out.Err = fmt.Errorf("run: baseline %v missing from store", base)
+		return out
+	}
+	if baseOut.Err != nil {
+		out.Err = fmt.Errorf("baseline %v: %w", base, baseOut.Err)
+		return out
+	}
+	a, err := r.resolve(s.App)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Point, out.Res, out.Err = core.Measure(a, s.Config(r.params()), s.Knob, s.Value, baseOut.Res.Elapsed)
+	return out
+}
+
+// Sweep measures one application across a sequence of settings of one
+// knob — the parallel successor of the old serial core.Sweep. The
+// baseline run provides the slowdown denominator and livelock bound;
+// points execute concurrently on up to jobs workers (0 = GOMAXPROCS).
+func Sweep(a apps.App, cfg apps.Config, k core.Knob, points []float64, jobs int) (apps.Result, []core.Point, error) {
+	cfg = cfg.Norm()
+	p := NewPlan()
+	baseSpec := p.AddBaseline(a.Name(), cfg.Procs, cfg.Scale, cfg.Seed, cfg.Verify)
+	specs := make([]Spec, len(points))
+	for i, v := range points {
+		specs[i] = p.AddSweep(Spec{
+			App: a.Name(), Procs: cfg.Procs, Scale: cfg.Scale, Seed: cfg.Seed,
+			Knob: k, Value: v, CPUSpeedup: cfg.CPUSpeedup,
+		}, cfg.Verify)
+	}
+	r := &Runner{
+		Jobs:    jobs,
+		Params:  cfg.Params,
+		Resolve: func(string) (apps.App, error) { return a, nil },
+	}
+	st, err := r.Run(p)
+	if err != nil {
+		return apps.Result{}, nil, err
+	}
+	base, err := st.Result(baseSpec)
+	if err != nil {
+		return apps.Result{}, nil, err
+	}
+	out := make([]core.Point, len(specs))
+	for i, s := range specs {
+		if out[i], err = st.Point(s); err != nil {
+			return base, nil, err
+		}
+	}
+	return base, out, nil
+}

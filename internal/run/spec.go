@@ -1,0 +1,98 @@
+// Package run is the experiment-execution engine: experiments declare
+// the set of simulation runs they need as a Plan of canonical Specs, and
+// a Runner executes the Plan on a bounded worker pool, deduplicating
+// identical runs in flight and collecting every outcome in a
+// mutex-guarded Store. Each individual simulation stays single-goroutine
+// and deterministic, so a Plan's results — and any table rendered from
+// them — are bit-identical at every job count.
+package run
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/logp"
+)
+
+// Spec is the canonical key of one simulation run. Two runs with equal
+// Specs (on the same machine parameters) are the same run; the Store
+// executes each distinct Spec at most once.
+type Spec struct {
+	// App is the suite application's short name ("radix", "em3d-read").
+	App string
+	// Procs is the cluster size.
+	Procs int
+	// Scale is the input scale relative to the paper's data sets.
+	Scale float64
+	// Seed fixes all pseudo-randomness.
+	Seed int64
+	// Knob is the varied LogGP parameter; core.KnobNone marks a baseline
+	// run on the unmodified machine.
+	Knob core.Knob
+	// Value is the knob setting (µs, or MB/s for core.KnobBW); zero for
+	// baselines.
+	Value float64
+	// Verify runs the application self-check. Only baseline runs verify;
+	// swept runs always normalize to false (core.Measure semantics).
+	Verify bool
+	// CPUSpeedup scales local computation (§5.5's processor-investment
+	// runs); 0 and 1 both mean the machine's own speed and normalize to 0.
+	CPUSpeedup float64
+}
+
+// Baseline builds the canonical baseline Spec for an application
+// configuration.
+func Baseline(app string, procs int, scale float64, seed int64, verify bool) Spec {
+	return Spec{App: app, Procs: procs, Scale: scale, Seed: seed, Knob: core.KnobNone, Verify: verify}.norm()
+}
+
+// IsBaseline reports whether the spec runs the unmodified machine.
+func (s Spec) IsBaseline() bool { return s.Knob == core.KnobNone }
+
+// norm canonicalizes the spec so that equal runs compare equal as map
+// keys.
+func (s Spec) norm() Spec {
+	if s.CPUSpeedup == 1 {
+		s.CPUSpeedup = 0
+	}
+	if s.IsBaseline() {
+		s.Value = 0
+	} else {
+		s.Verify = false
+	}
+	return s
+}
+
+// BaselineSpec is the baseline this spec's slowdown and livelock bound
+// are measured against: the same (app, procs, scale, seed) with no knob
+// applied and no CPU speedup. verify carries the plan-level choice for
+// baseline runs.
+func (s Spec) BaselineSpec(verify bool) Spec {
+	return Baseline(s.App, s.Procs, s.Scale, s.Seed, verify)
+}
+
+// Config builds the application configuration for the spec on a machine.
+// The knob itself is applied by the executor (core.Measure), not here.
+func (s Spec) Config(params logp.Params) apps.Config {
+	return apps.Config{
+		Procs:      s.Procs,
+		Scale:      s.Scale,
+		Params:     params,
+		Seed:       s.Seed,
+		Verify:     s.Verify,
+		CPUSpeedup: s.CPUSpeedup,
+	}
+}
+
+// String renders the spec for progress lines and errors.
+func (s Spec) String() string {
+	suffix := ""
+	if s.CPUSpeedup != 0 {
+		suffix = fmt.Sprintf(" cpu×%g", s.CPUSpeedup)
+	}
+	if s.IsBaseline() {
+		return fmt.Sprintf("%s/p%d baseline%s", s.App, s.Procs, suffix)
+	}
+	return fmt.Sprintf("%s/p%d %v=%g%s", s.App, s.Procs, s.Knob, s.Value, suffix)
+}

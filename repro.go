@@ -40,6 +40,7 @@ import (
 	"repro/internal/calib"
 	"repro/internal/exp"
 	"repro/internal/logp"
+	"repro/internal/run"
 	"repro/internal/sim"
 	"repro/internal/splitc"
 	"repro/internal/trace"
@@ -76,6 +77,18 @@ type (
 	// TraceRecorder buffers per-message events for timeline rendering;
 	// attach via World.Machine().SetObserver.
 	TraceRecorder = trace.Recorder
+	// RunSpec is the canonical key of one simulation run (app, procs,
+	// scale, seed, knob, value, verify).
+	RunSpec = run.Spec
+	// RunPlan is a deduplicated set of RunSpecs with baseline→sweep
+	// dependencies; experiments declare one, cmd/repro merges them.
+	RunPlan = run.Plan
+	// RunStore collects run outcomes, executing each distinct spec once.
+	RunStore = run.Store
+	// Runner executes RunPlans on a bounded worker pool.
+	Runner = run.Runner
+	// RunProgress reports one completed run to a Runner callback.
+	RunProgress = run.Progress
 )
 
 // Machine presets (paper Table 1, §5.1).
@@ -128,11 +141,36 @@ func AppByName(name string) (App, error) { return suite.ByName(name) }
 // Experiments lists every table/figure experiment in paper order.
 func Experiments() []Experiment { return exp.Registry() }
 
-// RunExperiment regenerates one paper artifact by id ("table1" … "fig8").
+// RunExperiment regenerates one paper artifact by id ("table1" … "fig8"),
+// planning, executing (on opts.Jobs workers), and rendering in one call.
 func RunExperiment(id string, opts Options) (*Table, error) {
 	e, err := exp.ByID(id)
 	if err != nil {
 		return nil, err
 	}
 	return e.Run(opts)
+}
+
+// PlanExperiments merges the run matrices of several experiments into
+// one deduplicated plan, so runs shared between artifacts (Fig 5b and
+// Table 5, Fig 6 and Table 6, every baseline) are declared exactly once.
+func PlanExperiments(ids []string, opts Options) (*RunPlan, error) {
+	return exp.PlanFor(ids, opts)
+}
+
+// NewRunner builds the experiment runner: the paper's baseline machine,
+// opts.Jobs workers (0 = GOMAXPROCS), and an optional per-run progress
+// callback. Tables rendered from its runs are bit-identical at every job
+// count.
+func NewRunner(opts Options, onProgress func(RunProgress)) *Runner {
+	return exp.DefaultRunner(opts, onProgress)
+}
+
+// NewRunStore returns an empty outcome store to execute plans into.
+func NewRunStore() *RunStore { return run.NewStore() }
+
+// RenderExperiment builds one artifact's table from a store already
+// holding its plan's outcomes (see PlanExperiments / Runner.RunInto).
+func RenderExperiment(id string, opts Options, store *RunStore) (*Table, error) {
+	return exp.Render(id, opts, store)
 }

@@ -79,6 +79,43 @@ func TestPublicExperiment(t *testing.T) {
 	}
 }
 
+// TestPublicPlanPipeline exercises the declarative path end to end: one
+// merged plan for two artifacts sharing their sweep runs, executed once,
+// rendered twice.
+func TestPublicPlanPipeline(t *testing.T) {
+	opts := repro.Options{Procs: 8, Scale: 1.0 / 2048, Seed: 1, Quick: true,
+		Apps: []string{"radix", "nowsort"}, Jobs: 4}
+	plan, err := repro.PlanExperiments([]string{"fig5b", "table5"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Size() == 0 || plan.Adds() <= plan.Size() {
+		t.Fatalf("merged plan: %d unique of %d declared, want sharing", plan.Size(), plan.Adds())
+	}
+	store := repro.NewRunStore()
+	var runs int
+	runner := repro.NewRunner(opts, func(p repro.RunProgress) { runs++ })
+	if err := runner.RunInto(store, plan); err != nil {
+		t.Fatal(err)
+	}
+	if runs != plan.Size() {
+		t.Errorf("progress saw %d runs, want %d", runs, plan.Size())
+	}
+	for _, id := range []string{"fig5b", "table5"} {
+		tab, err := repro.RenderExperiment(id, opts, store)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+	}
+	executed, _ := store.Stats()
+	if executed != plan.Size() {
+		t.Errorf("store executed %d, want %d", executed, plan.Size())
+	}
+}
+
 func TestPresetsDiffer(t *testing.T) {
 	if repro.NOW() == repro.Paragon() || repro.NOW() == repro.Meiko() {
 		t.Error("presets should differ")
