@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro"
@@ -78,8 +79,13 @@ func main() {
 	fmt.Printf("read messages     : %.2f%%\n", s.PercentReads)
 	fmt.Printf("bulk bandwidth    : %.1f KB/s/proc\n", s.BulkKBsPerProc)
 	fmt.Printf("small-msg bandwidth: %.1f KB/s/proc\n", s.SmallKBsPerProc)
-	for k, v := range res.Extra {
-		fmt.Printf("%-18s: %.0f\n", k, v)
+	extras := make([]string, 0, len(res.Extra))
+	for k := range res.Extra {
+		extras = append(extras, k)
+	}
+	sort.Strings(extras)
+	for _, k := range extras {
+		fmt.Printf("%-18s: %.0f\n", k, res.Extra[k])
 	}
 
 	fmt.Println("\ncommunication balance (row = sender):")

@@ -1,0 +1,67 @@
+// Command reprolint runs the determinism-invariant analyzer suite
+// (internal/analysis) over the repository and exits non-zero on any
+// finding, making the invariants a CI gate:
+//
+//	go run ./cmd/reprolint ./...
+//
+// Exit codes: 0 clean, 1 findings, 2 load or usage errors. Findings
+// print one per line as file:line:col: analyzer: message, followed by
+// a per-analyzer summary. Intentional exceptions are annotated in the
+// source with //lint:allow <analyzer> <reason> (see DESIGN.md
+// "Determinism invariants").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: reprolint [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	analyzers := analysis.All()
+	rep, err := analysis.Run(cwd, patterns, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range rep.Findings {
+		fmt.Printf("%s:%d:%d: %s: %s\n", relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	if n := len(rep.Findings); n > 0 {
+		fmt.Printf("reprolint: %d finding(s) in %d package(s): %s\n",
+			n, rep.Packages, strings.Join(rep.Counts(analyzers), ", "))
+		os.Exit(1)
+	}
+	fmt.Printf("reprolint: ok — %d analyzers over %d packages, no findings\n",
+		len(analyzers), rep.Packages)
+}
+
+func relPath(base, path string) string {
+	if rel, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reprolint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The allowlist escape hatch: a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// suppresses that analyzer's diagnostics on the same line (trailing
+// comment) or on the line immediately below (comment on its own line).
+// The reason is mandatory — an allow without a justification is itself
+// reported as a finding, as is an allow naming an unknown analyzer.
+
+const allowPrefix = "//lint:allow"
+
+type allowKey struct {
+	file     string
+	analyzer string
+	line     int
+}
+
+type allowSet struct {
+	keys map[allowKey]bool
+}
+
+// collectAllows scans a package's comments for allow directives.
+// Malformed directives are returned as findings attributed to the
+// pseudo-analyzer "lintdirective" so they cannot silently disable a
+// real check.
+func collectAllows(pkg *Package, known map[string]bool) (*allowSet, []Finding) {
+	as := &allowSet{keys: map[allowKey]bool{}}
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 || !known[fields[0]] {
+					bad = append(bad, Finding{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  "//lint:allow needs a known analyzer name (" + knownNames(known) + ")",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  "//lint:allow " + fields[0] + " needs a reason",
+					})
+					continue
+				}
+				as.keys[allowKey{pos.Filename, fields[0], pos.Line}] = true
+			}
+		}
+	}
+	return as, bad
+}
+
+// allowed reports whether a diagnostic by analyzer at pos is covered by
+// a directive on its line or the line above.
+func (as *allowSet) allowed(analyzer string, pos token.Position) bool {
+	return as.keys[allowKey{pos.Filename, analyzer, pos.Line}] ||
+		as.keys[allowKey{pos.Filename, analyzer, pos.Line - 1}]
+}
+
+func knownNames(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

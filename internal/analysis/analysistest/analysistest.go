@@ -1,0 +1,158 @@
+// Package analysistest runs reprolint analyzers over fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixture files
+// live under testdata/src/<import-path>/ and mark expected diagnostics
+// with trailing comments of the form
+//
+//	code() // want "regexp"
+//
+// Each want comment expects exactly one diagnostic on its line whose
+// message matches the quoted regular expression (several quoted
+// patterns expect several diagnostics). Lines without a want comment
+// must produce no diagnostics. //lint:allow directives in fixtures are
+// honored, so allowlisted-negative cases are expressible.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the caller's testdata
+// directory (relative to the test working directory).
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run loads each fixture package (an import path under testdata/src)
+// and checks a's diagnostics against the fixture's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		pkg, err := analysis.LoadDir(dir, path)
+		if err != nil {
+			t.Errorf("%s: loading fixture: %v", path, err)
+			continue
+		}
+		findings, err := analysis.RunPackage(pkg, a)
+		if err != nil {
+			t.Errorf("%s: running %s: %v", path, a.Name, err)
+			continue
+		}
+		checkExpectations(t, pkg, findings)
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// patRE extracts the quoted patterns after want: double-quoted or
+// backtick-quoted, as in x/tools analysistest.
+var patRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// checkExpectations matches findings against want comments line by line.
+func checkExpectations(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := map[lineKey][]*regexp.Regexp{}
+	var wantKeys []lineKey
+	for _, f := range pkg.Files {
+		collectWants(t, pkg, f, wants, &wantKeys)
+	}
+	got := map[lineKey][]analysis.Finding{}
+	var gotKeys []lineKey
+	for _, f := range findings {
+		k := lineKey{f.Pos.Filename, f.Pos.Line}
+		if len(got[k]) == 0 {
+			gotKeys = append(gotKeys, k)
+		}
+		got[k] = append(got[k], f)
+	}
+
+	for _, k := range wantKeys {
+		pats := wants[k]
+		fs := got[k]
+		if len(fs) != len(pats) {
+			t.Errorf("%s:%d: want %d diagnostic(s), got %d: %v", k.file, k.line, len(pats), len(fs), messages(fs))
+			continue
+		}
+		for _, pat := range pats {
+			if !anyMatch(fs, pat) {
+				t.Errorf("%s:%d: no diagnostic matching %q in %v", k.file, k.line, pat, messages(fs))
+			}
+		}
+	}
+	sort.Slice(gotKeys, func(i, j int) bool {
+		if gotKeys[i].file != gotKeys[j].file {
+			return gotKeys[i].file < gotKeys[j].file
+		}
+		return gotKeys[i].line < gotKeys[j].line
+	})
+	for _, k := range gotKeys {
+		if _, expected := wants[k]; !expected {
+			t.Errorf("%s:%d: unexpected diagnostic(s): %v", k.file, k.line, messages(got[k]))
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package, f *ast.File, wants map[lineKey][]*regexp.Regexp, keys *[]lineKey) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			k := lineKey{pos.Filename, pos.Line}
+			for _, q := range patRE.FindAllStringSubmatch(m[1], -1) {
+				pat := q[1]
+				if q[2] != "" {
+					pat = q[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					continue
+				}
+				if len(wants[k]) == 0 {
+					*keys = append(*keys, k)
+				}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+}
+
+func anyMatch(fs []analysis.Finding, re *regexp.Regexp) bool {
+	for _, f := range fs {
+		if re.MatchString(f.Message) {
+			return true
+		}
+	}
+	return false
+}
+
+func messages(fs []analysis.Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, fmt.Sprintf("%s: %s", f.Analyzer, f.Message))
+	}
+	if out == nil {
+		out = []string{"(none)"}
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+// Files includes in-package _test.go files; external test packages
+// (package foo_test) load as their own Package with the same Dir.
+type Package struct {
+	// Path is the import path analyzers scope on. For external test
+	// packages it carries a "_test" suffix.
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Load type-checks the packages matched by patterns ("./...",
+// "./internal/...", or plain relative directories) against the module
+// containing dir. Test files are included. Packages are returned in
+// deterministic (import path) order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	root, modPath, err := FindModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(root, modPath)
+	dirs, err := expandPatterns(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, d := range dirs {
+		got, err := ld.checkDir(d)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, got...)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir type-checks the single directory dir as a package with the
+// given import path, without requiring a go.mod. It exists for
+// analysistest fixtures under testdata/src, whose directory layout
+// encodes the import path the analyzers scope on.
+func LoadDir(dir, importPath string) (*Package, error) {
+	ld := newLoader("", "")
+	got, err := ld.checkDirAs(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(got) == 0 {
+		return nil, fmt.Errorf("no Go package in %s", dir)
+	}
+	return got[0], nil
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, modPath string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// expandPatterns resolves go-style package patterns relative to base
+// into a sorted list of directories containing Go files.
+func expandPatterns(base string, patterns []string) ([]string, error) {
+	abs, err := filepath.Abs(base)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, p := range patterns {
+		p = strings.TrimPrefix(p, "./")
+		if p == "" {
+			p = "."
+		}
+		rec := false
+		if p == "..." {
+			p, rec = ".", true
+		} else if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			p, rec = rest, true
+		}
+		start := filepath.Join(abs, filepath.FromSlash(p))
+		if !rec {
+			add(start)
+			continue
+		}
+		err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != start && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loader type-checks packages from source. Imports resolve through a
+// cache of interface-only (IgnoreFuncBodies) packages: the standard
+// library from GOROOT/src via go/build, module-internal imports from
+// the module tree.
+type loader struct {
+	fset    *token.FileSet
+	ctxt    build.Context
+	root    string // module root ("" in LoadDir mode)
+	modPath string
+	imports map[string]*types.Package
+	loading map[string]bool
+	// override temporarily maps an import path to a test-augmented
+	// package while checking its external test package.
+	override map[string]*types.Package
+}
+
+func newLoader(root, modPath string) *loader {
+	ctxt := build.Default
+	ctxt.CgoEnabled = false // pure-Go file sets; the simulator uses no cgo
+	return &loader{
+		fset:     token.NewFileSet(),
+		ctxt:     ctxt,
+		root:     root,
+		modPath:  modPath,
+		imports:  map[string]*types.Package{},
+		loading:  map[string]bool{},
+		override: map[string]*types.Package{},
+	}
+}
+
+func (ld *loader) sizes() types.Sizes {
+	return types.SizesFor("gc", ld.ctxt.GOARCH)
+}
+
+// checkDir loads the package in dir (import path derived from the
+// module) plus its external test package, if any.
+func (ld *loader) checkDir(dir string) ([]*Package, error) {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := ld.modPath
+	if rel != "." {
+		importPath = ld.modPath + "/" + filepath.ToSlash(rel)
+	}
+	return ld.checkDirAs(dir, importPath)
+}
+
+func (ld *loader) checkDirAs(dir, importPath string) ([]*Package, error) {
+	bp, err := ld.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var pkgs []*Package
+
+	files, err := ld.parseFiles(dir, append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...), parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	main, err := ld.checkFiles(importPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	pkgs = append(pkgs, main)
+
+	if len(bp.XTestGoFiles) > 0 {
+		xfiles, err := ld.parseFiles(dir, bp.XTestGoFiles, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		// The external test package imports the subject package; resolve
+		// that import to the test-augmented package so export_test.go
+		// declarations are visible.
+		ld.override[importPath] = main.Pkg
+		xt, err := ld.checkFiles(importPath+"_test", dir, xfiles)
+		delete(ld.override, importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, xt)
+	}
+	return pkgs, nil
+}
+
+func (ld *loader) parseFiles(dir string, names []string, mode parser.Mode) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, mode|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func (ld *loader) checkFiles(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld, Sizes: ld.sizes()}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: ld.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Import implements types.Importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, ld.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: imports load as
+// interface-only packages (function bodies skipped), which is all
+// analysis of the importing package needs.
+func (ld *loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ld.override[path]; ok {
+		return p, nil
+	}
+	if p, ok := ld.imports[path]; ok {
+		return p, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir, err := ld.dirFor(path, srcDir)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := ld.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	files, err := ld.parseFiles(dir, bp.GoFiles, 0)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	conf := types.Config{
+		Importer:                 ld,
+		Sizes:                    ld.sizes(),
+		IgnoreFuncBodies:         true,
+		DisableUnusedImportCheck: true,
+		// Interface-only checking of dependencies tolerates soft
+		// errors; the packages under analysis are checked strictly.
+		Error: func(error) {},
+	}
+	pkg, _ := conf.Check(path, ld.fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("import %q: type-checking failed", path)
+	}
+	ld.imports[path] = pkg
+	return pkg, nil
+}
+
+func (ld *loader) dirFor(path, srcDir string) (string, error) {
+	if ld.modPath != "" {
+		if path == ld.modPath {
+			return ld.root, nil
+		}
+		if rest, ok := strings.CutPrefix(path, ld.modPath+"/"); ok {
+			return filepath.Join(ld.root, filepath.FromSlash(rest)), nil
+		}
+	}
+	bp, err := ld.ctxt.Import(path, srcDir, build.FindOnly)
+	if err != nil {
+		return "", fmt.Errorf("import %q: %w", path, err)
+	}
+	return bp.Dir, nil
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags range-over-map loops whose bodies are sensitive to
+// iteration order — the classic silent killer of byte-identical
+// tables. Three body patterns are order-sensitive:
+//
+//   - appending to a slice declared outside the loop (flagged unless a
+//     sort.*/slices.* call follows the loop in the same block, the
+//     collect-then-sort idiom);
+//   - writing output (fmt.Print*/Fprint*, io Write*) directly from the
+//     body — no later sort can repair an already-written stream;
+//   - accumulating floating-point values with += / -= / *= / /= into a
+//     variable declared outside the loop: float addition is not
+//     associative, so even "sum over all values" differs run to run.
+//
+// Order-insensitive bodies (counting, keyed writes into another map,
+// max/min scans over values) pass. False positives take a
+// //lint:allow maporder <reason>.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive iteration over maps (append/output/float-accumulate without a deterministic sort)",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var stmts []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				stmts = b.List
+			case *ast.CaseClause:
+				stmts = b.Body
+			case *ast.CommClause:
+				stmts = b.Body
+			default:
+				return true
+			}
+			for i, stmt := range stmts {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapType(pass.TypesInfo.Types[rs.X].Type) {
+					continue
+				}
+				checkMapRange(pass, rs, stmts[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	sortedAfter := hasSortCall(pass, rest)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if target, ok := appendTarget(pass, s, rs); ok {
+				if !sortedAfter {
+					pass.Reportf(s.Pos(),
+						"range over map appends to %s in nondeterministic order; sort %s afterwards or iterate sorted keys",
+						target, target)
+				}
+				return true
+			}
+			if target, ok := floatAccumTarget(pass, s, rs); ok {
+				pass.Reportf(s.Pos(),
+					"range over map accumulates float %s in nondeterministic order (float addition is not associative); iterate sorted keys",
+					target)
+				return true
+			}
+		case *ast.CallExpr:
+			if name, ok := outputCall(pass, s); ok {
+				pass.Reportf(s.Pos(),
+					"range over map writes output via %s in nondeterministic order; iterate sorted keys",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// appendTarget matches `x = append(x, ...)` (and variants) where x is
+// declared outside the range statement.
+func appendTarget(pass *Pass, s *ast.AssignStmt, rs *ast.RangeStmt) (string, bool) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return "", false
+	}
+	for i, rhs := range s.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") {
+			continue
+		}
+		if id := baseIdent(s.Lhs[i]); id != nil && declaredOutside(pass, id, rs) {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+// floatAccumTarget matches compound float assignment (sum += v) to a
+// variable declared outside the range statement.
+func floatAccumTarget(pass *Pass, s *ast.AssignStmt, rs *ast.RangeStmt) (string, bool) {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return "", false
+	}
+	lhs := s.Lhs[0]
+	t := pass.TypesInfo.Types[lhs].Type
+	if t == nil {
+		return "", false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return "", false
+	}
+	if id := baseIdent(lhs); id != nil && declaredOutside(pass, id, rs) {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// outputCall matches stream-writing calls: fmt printers and Write*
+// methods on writers/builders.
+func outputCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := calleeFunc(pass.TypesInfo, sel)
+	if !ok {
+		return "", false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return name, true
+	}
+	return "", false
+}
+
+// hasSortCall reports whether any statement in rest calls into sort or
+// slices — the collect-then-sort idiom that makes a preceding
+// map-range append deterministic again.
+func hasSortCall(pass *Pass, rest []ast.Stmt) bool {
+	found := false
+	for _, stmt := range rest {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := calleeFunc(pass.TypesInfo, sel); ok && fn.Pkg() != nil {
+				if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// declaredOutside reports whether id's object is declared outside the
+// range statement (so mutation through it escapes the loop).
+func declaredOutside(pass *Pass, id *ast.Ident, rs *ast.RangeStmt) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoGlobalMut forbids package-level mutable state in the experiment and
+// run-harness packages. PR 1 deleted the unsynchronized
+// sweepCache/baselineCache globals from internal/exp so that
+// overlapping plans on the -jobs worker pool cannot interact through
+// hidden state; this analyzer makes that deletion structural.
+//
+// A package-level var is accepted only when it is demonstrably inert:
+// a blank interface-compliance check (var _ T = ...), an error
+// sentinel (var ErrX = ...), or an immutable config table — an
+// unexported var of value/slice kind that the package never writes,
+// never writes through, and never takes the address of. Reference
+// kinds (map, chan, pointer) and sync primitives are always flagged:
+// a read-only map table can be expressed as a function or switch, and
+// anything else belongs in the run Spec or Store.
+var NoGlobalMut = &Analyzer{
+	Name: "noglobalmut",
+	Doc:  "forbid package-level mutable state in internal/exp, internal/run, and internal/apps",
+	Run:  runNoGlobalMut,
+}
+
+func runNoGlobalMut(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), noGlobalScopes()) {
+		return nil
+	}
+	writes := collectWrites(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					checkGlobal(pass, name, writes)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkGlobal(pass *Pass, name *ast.Ident, writes map[types.Object]token.Pos) {
+	if name.Name == "_" {
+		return // interface-compliance check, carries no state
+	}
+	obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+	if !ok {
+		return
+	}
+	if isErrorSentinel(obj) {
+		return
+	}
+	scope := relScope(pass.Pkg.Path())
+	if kind, mutable := inherentlyMutable(obj.Type(), nil); mutable {
+		pass.Reportf(name.Pos(),
+			"package-level var %s holds %s — mutable shared state is forbidden in %s; thread state through the run Spec/Store or allocate per run",
+			name.Name, kind, scope)
+		return
+	}
+	if pos, written := writes[obj]; written {
+		pass.Reportf(name.Pos(),
+			"package-level var %s is written at %s — %s must hold no package-level mutable state",
+			name.Name, pass.Fset.Position(pos), scope)
+		return
+	}
+	if name.IsExported() {
+		pass.Reportf(name.Pos(),
+			"exported package-level var %s is assignable by any importer — %s must hold no package-level mutable state; make it a function or const",
+			name.Name, scope)
+	}
+}
+
+// isErrorSentinel accepts the standard var ErrX = errors.New(...) idiom:
+// an error-typed var whose name declares it a sentinel.
+func isErrorSentinel(v *types.Var) bool {
+	if !strings.HasPrefix(v.Name(), "Err") && !strings.HasPrefix(v.Name(), "err") {
+		return false
+	}
+	it, ok := v.Type().Underlying().(*types.Interface)
+	return ok && it.NumMethods() == 1 && it.Method(0).Name() == "Error"
+}
+
+// inherentlyMutable classifies types whose values are shared mutable
+// state no matter how the var is used: maps, channels, pointers, sync
+// primitives, and aggregates containing any of those. Slices are
+// excluded — an unexported []T initialized once and never written is
+// the repo's idiom for immutable config tables (the write scan catches
+// actual mutation).
+func inherentlyMutable(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			if p := pkg.Path(); p == "sync" || p == "sync/atomic" {
+				return "a " + p + "." + named.Obj().Name(), true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		return "a map", true
+	case *types.Chan:
+		return "a channel", true
+	case *types.Pointer:
+		return "a pointer", true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if kind, mutable := inherentlyMutable(u.Field(i).Type(), seen); mutable {
+				return kind + " (in field " + u.Field(i).Name() + ")", true
+			}
+		}
+	case *types.Array:
+		return inherentlyMutable(u.Elem(), seen)
+	}
+	return "", false
+}
+
+// collectWrites finds every object the package assigns to, writes an
+// element or field of, increments, or takes the address of. Shadowed
+// locals resolve to their own objects, so only true package-var writes
+// survive the later filter.
+func collectWrites(pass *Pass) map[types.Object]token.Pos {
+	writes := map[types.Object]token.Pos{}
+	record := func(e ast.Expr) {
+		id := baseIdent(e)
+		if id == nil {
+			return
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			if _, ok := writes[obj]; !ok {
+				writes[obj] = id.Pos()
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					record(lhs)
+				}
+			case *ast.IncDecStmt:
+				record(s.X)
+			case *ast.UnaryExpr:
+				if s.Op == token.AND {
+					record(s.X)
+				}
+			case *ast.RangeStmt:
+				if s.Tok == token.ASSIGN {
+					record(s.Key)
+					record(s.Value)
+				}
+			}
+			return true
+		})
+	}
+	return writes
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestNoGlobalMut(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.NoGlobalMut,
+		"repro/internal/exp/globalsbad", // positives + immutable-table/sentinel/allow negatives
+	)
+}

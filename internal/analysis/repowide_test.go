@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepoIsClean is the tier-1 determinism gate: the full multichecker
+// over the whole module must produce zero unallowlisted diagnostics —
+// the same check CI runs as `go run ./cmd/reprolint ./...`.
+func TestRepoIsClean(t *testing.T) {
+	root, _, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := analysis.Run(root, []string{"./..."}, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("%s", f)
+	}
+	if rep.Packages < 20 {
+		t.Errorf("loaded only %d packages — pattern expansion is dropping most of the module", rep.Packages)
+	}
+}

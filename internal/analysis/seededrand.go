@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SeededRand forbids the math/rand top-level functions everywhere in
+// the module: they draw from the process-wide source, so two runs of
+// the same (app, procs, knob, seed) spec — or the same plan at
+// different -jobs settings — would diverge. Randomness must flow from
+// an explicit rand.New(rand.NewSource(seed)) with the seed threaded
+// from the run Spec (see sim.Proc.Rand).
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid math/rand global-source functions; RNGs must be explicitly seeded from the run Spec",
+	Run:  runSeededRand,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicitly seeded generators rather than using the global source.
+func randConstructors() map[string]bool {
+	return map[string]bool{
+		"New":        true,
+		"NewSource":  true,
+		"NewZipf":    true,
+		"NewPCG":     true, // math/rand/v2
+		"NewChaCha8": true, // math/rand/v2
+	}
+}
+
+func runSeededRand(pass *Pass) error {
+	allowed := randConstructors()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeFunc(pass.TypesInfo, sel)
+			if !ok {
+				return true
+			}
+			path := ""
+			if fn.Pkg() != nil {
+				path = fn.Pkg().Path()
+			}
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand (an explicitly constructed
+			// generator) are the sanctioned API.
+			if !isPkgFunc(fn, path) || allowed[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s draws from the process-wide source; use rand.New(rand.NewSource(seed)) with the seed threaded from the run Spec",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

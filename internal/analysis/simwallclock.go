@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SimWallClock forbids wall-clock time inside simulation packages.
+// Simulated time must come from the event queue (sim.Time); a single
+// time.Now in a hot path silently couples results to host speed.
+// Wall-clock is legitimate only in cmd/ and internal/run progress
+// reporting, which this analyzer does not visit.
+var SimWallClock = &Analyzer{
+	Name: "simwallclock",
+	Doc:  "forbid time.Now/Since/Sleep/Tick and friends in simulation packages",
+	Run:  runSimWallClock,
+}
+
+// wallClockFuncs are the package-level time functions that read or wait
+// on the host clock. Pure conversions (time.Duration arithmetic,
+// time.Unix) do not touch the clock and are not listed.
+func wallClockFuncs() map[string]bool {
+	return map[string]bool{
+		"Now":       true,
+		"Since":     true,
+		"Until":     true,
+		"Sleep":     true,
+		"Tick":      true,
+		"After":     true,
+		"AfterFunc": true,
+		"NewTimer":  true,
+		"NewTicker": true,
+	}
+}
+
+func runSimWallClock(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), simScopes()) {
+		return nil
+	}
+	banned := wallClockFuncs()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeFunc(pass.TypesInfo, sel)
+			if !ok || !isPkgFunc(fn, "time") || !banned[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"wall-clock time.%s in simulation package %s; simulated time must come from the event queue (sim.Time)",
+				fn.Name(), relScope(pass.Pkg.Path()))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSimWallClock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.SimWallClock,
+		"repro/internal/sim/wallclockbad", // positives + allowlisted negative
+		"repro/internal/run/wallclockok",  // out of scope: wall-clock is fine in the worker pool
+	)
+}

@@ -1,0 +1,79 @@
+// Package maporderbad exercises maporder: order-sensitive bodies in
+// range-over-map loops are findings; the collect-then-sort idiom,
+// order-insensitive bodies, and the escape hatch are not.
+package maporderbad
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends to keys in nondeterministic order`
+	}
+	return keys
+}
+
+// appendThenSort is the sanctioned collect-then-sort idiom.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printsDirectly(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `writes output via fmt\.Printf`
+		sb.WriteString(k)           // want `writes output via WriteString`
+	}
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `accumulates float sum in nondeterministic order`
+	}
+	return sum
+}
+
+// intSum is order-insensitive: integer addition is associative.
+func intSum(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// keyedCopy writes through the iteration key, so order cannot leak.
+func keyedCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// sliceSum ranges over a slice, not a map.
+func sliceSum(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+func allowedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:allow maporder fixture: demonstrating the escape hatch
+		keys = append(keys, k)
+	}
+	return keys
+}

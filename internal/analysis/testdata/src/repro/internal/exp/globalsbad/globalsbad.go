@@ -1,0 +1,38 @@
+// Package globalsbad exercises noglobalmut: package-level mutable
+// state in experiment packages is a finding; immutable config tables,
+// interface-compliance checks, error sentinels, and the escape hatch
+// are not.
+package globalsbad
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+var cache = map[string]int{} // want `package-level var cache holds a map`
+
+var counter int // want `package-level var counter is written at`
+
+var Exported = 3 // want `exported package-level var Exported is assignable by any importer`
+
+var mu sync.Mutex // want `package-level var mu holds a sync\.Mutex`
+
+// sweepPoints is never written, written through, or address-taken: an
+// immutable config table, the repo's idiom (internal/exp sweep points).
+var sweepPoints = []float64{0, 1, 2, 4}
+
+var ErrNotFound = errors.New("globalsbad: not found") // sentinel: fine
+
+var _ io.Writer = (*nopWriter)(nil) // compliance check: fine
+
+//lint:allow noglobalmut fixture: demonstrating the escape hatch
+var legacy = map[string]bool{}
+
+type nopWriter struct{}
+
+func (*nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func bump() { counter++ }
+
+func firstPoint() float64 { return sweepPoints[0] }

@@ -1,0 +1,15 @@
+// Package gofreeok shows goroutinefree scoping: internal/run is the
+// worker pool, the one place host concurrency belongs.
+package gofreeok
+
+func fanOut(work []int) []int {
+	out := make(chan int, len(work))
+	for _, w := range work {
+		go func(w int) { out <- w }(w)
+	}
+	got := make([]int, 0, len(work))
+	for range work {
+		got = append(got, <-out)
+	}
+	return got
+}

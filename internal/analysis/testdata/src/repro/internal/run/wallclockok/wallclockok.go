@@ -1,0 +1,10 @@
+// Package wallclockok shows simwallclock scoping: internal/run is the
+// worker pool, where wall-clock progress reporting is legitimate.
+package wallclockok
+
+import "time"
+
+func Elapsed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,24 @@
+// Package wallclockbad exercises simwallclock: wall-clock reads inside
+// a simulation package are findings; the //lint:allow escape hatch and
+// pure time.Duration arithmetic are not.
+package wallclockbad
+
+import "time"
+
+func bad() time.Duration {
+	t0 := time.Now()             // want `wall-clock time\.Now in simulation package internal/sim`
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep`
+	_ = time.Tick(time.Second)   // want `wall-clock time\.Tick`
+	_ = time.After(time.Second)  // want `wall-clock time\.After`
+	return time.Since(t0)        // want `wall-clock time\.Since`
+}
+
+func pureConversions() time.Duration {
+	// Duration arithmetic never touches the host clock.
+	return 3 * time.Millisecond / 2
+}
+
+func allowed() time.Time {
+	//lint:allow simwallclock fixture: demonstrating the escape hatch
+	return time.Now()
+}

@@ -1,0 +1,25 @@
+// Package seededrandbad exercises seededrand: math/rand global-source
+// functions are findings anywhere in the module; explicitly seeded
+// generators and the escape hatch are not.
+package seededrandbad
+
+import "math/rand"
+
+func bad(n int) int {
+	rand.Seed(42)      // want `rand\.Seed draws from the process-wide source`
+	x := rand.Intn(n)  // want `rand\.Intn draws from the process-wide source`
+	_ = rand.Float64() // want `rand\.Float64 draws from the process-wide source`
+	_ = rand.Perm(n)   // want `rand\.Perm draws from the process-wide source`
+	return x
+}
+
+// good is the sanctioned pattern: the seed arrives from the run Spec.
+func good(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+func allowed() float64 {
+	//lint:allow seededrand fixture: demonstrating the escape hatch
+	return rand.ExpFloat64()
+}

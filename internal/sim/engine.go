@@ -55,6 +55,7 @@ func New(cfg Config) *Engine {
 	if cfg.Procs < 1 {
 		panic(fmt.Sprintf("sim: Config.Procs must be >= 1, got %d", cfg.Procs))
 	}
+	//lint:allow goroutinefree doneCh signals run completion to the single external caller of Run
 	e := &Engine{doneCh: make(chan struct{}), timeLimit: cfg.TimeLimit}
 	e.procs = make([]*Proc, cfg.Procs)
 	for i := range e.procs {
@@ -121,12 +122,15 @@ func (e *Engine) RunEach(bodies []func(*Proc)) error {
 	for i, p := range e.procs {
 		p.state = stateReady
 		e.ready.push(p)
+		//lint:allow goroutinefree processor bodies are coroutines: exactly one is runnable at a time, handed off via resume
 		go e.procMain(p, bodies[i])
 	}
 	// Hand control to the first processor and wait for completion.
 	first := e.ready.pop()
 	first.state = stateRunning
+	//lint:allow goroutinefree deterministic coroutine handoff: the buffered resume send never blocks or races
 	first.resume <- struct{}{}
+	//lint:allow goroutinefree Run's caller parks here until the last coroutine signals completion
 	<-e.doneCh
 	e.wg.Wait()
 	return e.failure
@@ -150,6 +154,7 @@ func (e *Engine) procMain(p *Proc, body func(*Proc)) {
 		e.failure = fmt.Errorf("sim: proc %d panicked at %v: %v\n%s", p.id, p.clock, r, debug.Stack())
 		e.abortFromRunning()
 	}()
+	//lint:allow goroutinefree each coroutine parks at birth until the scheduler hands it the CPU
 	<-p.resume
 	if e.aborted {
 		panic(abortPanic{})
@@ -167,6 +172,7 @@ func (e *Engine) finish(p *Proc) {
 	if next != nil {
 		e.switches++
 		next.state = stateRunning
+		//lint:allow goroutinefree deterministic coroutine handoff: the retiring body picks the unique next runnable
 		next.resume <- struct{}{}
 		return
 	}
@@ -216,6 +222,7 @@ func (e *Engine) abortFromRunning() {
 	for _, p := range e.procs {
 		if p.state == stateReady || p.state == stateBlocked || p.state == statePending {
 			p.state = stateDone
+			//lint:allow goroutinefree abort path: wake every parked coroutine so it unwinds via abortPanic
 			p.resume <- struct{}{}
 		}
 	}
@@ -225,6 +232,7 @@ func (e *Engine) abortFromRunning() {
 func (e *Engine) signalDone() {
 	if !e.doneClosed {
 		e.doneClosed = true
+		//lint:allow goroutinefree completion signal to the single Run caller; closed exactly once
 		close(e.doneCh)
 	}
 }
@@ -236,7 +244,9 @@ func (e *Engine) switchTo(from, to *Proc) {
 	from.state = stateReady
 	e.ready.push(from)
 	to.state = stateRunning
+	//lint:allow goroutinefree deterministic coroutine handoff: hand the CPU to the chosen processor
 	to.resume <- struct{}{}
+	//lint:allow goroutinefree park until some coroutine hands the CPU back
 	<-from.resume
 	if e.aborted {
 		panic(abortPanic{})
@@ -258,7 +268,9 @@ func (e *Engine) parkAndDispatch(from *Proc) {
 	}
 	e.switches++
 	next.state = stateRunning
+	//lint:allow goroutinefree deterministic coroutine handoff: dispatch the unique next runnable
 	next.resume <- struct{}{}
+	//lint:allow goroutinefree park until WakeAt makes this processor runnable again
 	<-from.resume
 	if e.aborted {
 		panic(abortPanic{})

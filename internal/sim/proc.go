@@ -41,8 +41,9 @@ func newProc(e *Engine, id int, seed int64) *Proc {
 		eng:       e,
 		state:     statePending,
 		heapIndex: -1,
-		resume:    make(chan struct{}, 1),
-		rng:       rand.New(rand.NewSource(seed*1_000_003 + int64(id)*7919 + 1)),
+		//lint:allow goroutinefree resume is the coroutine handoff channel; buffer 1 so handoffs never block the sender
+		resume: make(chan struct{}, 1),
+		rng:    rand.New(rand.NewSource(seed*1_000_003 + int64(id)*7919 + 1)),
 	}
 }
 
