@@ -30,6 +30,7 @@ func main() {
 		dL     = flag.Float64("dL", 0, "added latency (µs)")
 		bwCap  = flag.Float64("bw", 0, "bulk bandwidth cap (MB/s)")
 		tline  = flag.Bool("timeline", false, "render a per-processor activity timeline (traces every message)")
+		doProf = flag.Bool("profile", false, "attach the stall-attribution profiler and print the time breakdown")
 	)
 	flag.Parse()
 
@@ -51,10 +52,11 @@ func main() {
 	params.DeltaL = repro.FromMicros(*dL)
 	params.BulkBandwidthMBs = *bwCap
 	cfg := repro.AppConfig{Procs: *procs, Scale: *scale, Params: params, Seed: *seed, Verify: *verify}
+	cfg.Profile = *doProf
 	var rec *repro.TraceRecorder
 	if *tline {
 		rec = &repro.TraceRecorder{Limit: 2_000_000}
-		cfg.Observer = rec
+		cfg.Hooks = rec
 	}
 
 	fmt.Printf("%s — %s\n", a.PaperName(), a.Description())
@@ -111,6 +113,15 @@ func main() {
 			b.WriteRune(shades[idx])
 		}
 		fmt.Println("  " + b.String())
+	}
+
+	if res.Profile != nil {
+		fmt.Println()
+		fmt.Print(res.Profile.Text())
+		if err := res.Profile.CheckConservation(); err != nil {
+			fmt.Fprintf(os.Stderr, "appstat: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if rec != nil {

@@ -36,10 +36,14 @@ import (
 // accounting in Table 4.
 const SmallWireBytes = 28
 
-// Observer receives a callback for every message event; attach one with
-// Machine.SetObserver to build traces or custom instrumentation. Both
-// hooks run synchronously on the simulating goroutine and must not call
-// back into the endpoint.
+// Observer is the legacy two-event instrumentation interface, kept as a
+// compatibility shim for one release: Machine.SetObserver wraps it in the
+// Hooks interface that replaced it. New code should implement Hooks
+// (embedding NopHooks) and attach with Machine.SetHooks or
+// splitc.World.Attach. Both callbacks run synchronously on the simulating
+// goroutine and must not call back into the endpoint.
+//
+// Deprecated: implement Hooks instead.
 type Observer interface {
 	// MessageSent fires when a host hands a message to its NIC.
 	MessageSent(src, dst int, class Class, bulk bool, at sim.Time)
@@ -114,7 +118,7 @@ type Machine struct {
 	params logp.Params
 	eps    []*Endpoint
 	stats  *Stats
-	obs    Observer
+	hooks  Hooks
 
 	// cpuFactor scales local computation speed: 2.0 halves every Compute
 	// charge (a processor twice as fast), leaving communication costs
@@ -160,8 +164,33 @@ func (m *Machine) Endpoint(i int) *Endpoint { return m.eps[i] }
 // Stats returns the machine-wide instrumentation.
 func (m *Machine) Stats() *Stats { return m.stats }
 
-// SetObserver attaches a message-event observer (nil detaches).
-func (m *Machine) SetObserver(obs Observer) { m.obs = obs }
+// SetHooks attaches the machine's instrumentation (nil detaches). When h
+// also implements ClockHooks, every processor's raw clock advances are
+// forwarded to it as well. Attach before the run starts: the profiler's
+// conservation proof needs to see time zero onward.
+func (m *Machine) SetHooks(h Hooks) {
+	m.hooks = h
+	ch, _ := h.(ClockHooks)
+	for i, ep := range m.eps {
+		if ch == nil {
+			ep.proc.SetClockHook(nil)
+			continue
+		}
+		id := i
+		ep.proc.SetClockHook(func(kind sim.ClockKind, from, to sim.Time) {
+			ch.ClockAdvanced(id, kind, from, to)
+		})
+	}
+}
+
+// Hooks returns the attached instrumentation (nil when detached).
+func (m *Machine) Hooks() Hooks { return m.hooks }
+
+// SetObserver attaches a legacy message-event observer (nil detaches) by
+// wrapping it in the Hooks interface.
+//
+// Deprecated: use SetHooks, or splitc.World.Attach one level up.
+func (m *Machine) SetObserver(obs Observer) { m.SetHooks(HooksFromObserver(obs)) }
 
 // SetCPUFactor makes every processor's local computation f× faster
 // (Compute charges are divided by f). Communication overheads are NOT
@@ -218,7 +247,11 @@ func (ep *Endpoint) Compute(d sim.Time) {
 	if f := ep.m.cpuFactor; f != 1 {
 		d = sim.Time(float64(d)/f + 0.5)
 	}
+	from := ep.proc.Clock()
 	ep.proc.Advance(d)
+	if h := ep.m.hooks; h != nil && d > 0 {
+		h.ComputeCharged(ep.ID(), from, ep.proc.Clock())
+	}
 }
 
 func (ep *Endpoint) params() *logp.Params { return &ep.m.params }
@@ -354,13 +387,17 @@ func (ep *Endpoint) waitWindow(dst int) {
 	if ep.outstanding[dst] < w {
 		return
 	}
-	ep.WaitUntil(func() bool { return ep.outstanding[dst] < w }, "am: window stall")
+	ep.WaitUntilFor(WaitWindow, func() bool { return ep.outstanding[dst] < w }, "am: window stall")
 }
 
 // chargeSend charges the host-side send overhead (o_send plus the
 // experiment's added overhead).
 func (ep *Endpoint) chargeSend() {
+	from := ep.proc.Clock()
 	ep.proc.Advance(ep.params().EffOSend())
+	if h := ep.m.hooks; h != nil {
+		h.SendOverhead(ep.ID(), from, ep.proc.Clock())
+	}
 }
 
 // injectShort reserves the NIC transmit context for a short message and
@@ -372,6 +409,9 @@ func (ep *Endpoint) injectShort() sim.Time {
 		inject = ep.txFreeAt
 	}
 	ep.txFreeAt = inject + p.EffGap()
+	if h := ep.m.hooks; h != nil {
+		h.TxReserved(ep.ID(), inject, ep.txFreeAt, ep.txFreeAt)
+	}
 	return inject
 }
 
@@ -386,6 +426,9 @@ func (ep *Endpoint) injectBulk(n int) sim.Time {
 		inject = ep.txFreeAt
 	}
 	ep.txFreeAt = inject + p.EffGap() + p.BulkTime(n)
+	if h := ep.m.hooks; h != nil {
+		h.TxReserved(ep.ID(), inject, inject+p.EffGap(), ep.txFreeAt)
+	}
 	return inject
 }
 
@@ -393,9 +436,9 @@ func (ep *Endpoint) injectBulk(n int) sim.Time {
 // frees its window credit at arrival: the NIC manages credits, so the host
 // need not have polled yet.
 func (m *Machine) deliverAt(msg *message) {
-	if m.obs != nil {
+	if m.hooks != nil {
 		bulk := msg.kind == kindBulk || msg.kind == kindBulkReply
-		m.obs.MessageSent(msg.src, msg.dst, msg.class, bulk, m.eps[msg.src].proc.Clock())
+		m.hooks.MessageSent(msg.src, msg.dst, msg.class, bulk, m.eps[msg.src].proc.Clock())
 	}
 	dst := m.eps[msg.dst]
 	m.eng.ScheduleAt(msg.arrival, func() {
@@ -474,7 +517,11 @@ func (ep *Endpoint) Poll() {
 // process consumes one arrived message on the host.
 func (ep *Endpoint) process(msg *message) {
 	p := ep.params()
+	from := ep.proc.Clock()
 	ep.proc.Advance(p.EffORecv())
+	if h := ep.m.hooks; h != nil {
+		h.RecvOverhead(ep.ID(), from, ep.proc.Clock())
+	}
 	tok := &Token{Src: msg.src, Class: msg.class, IsReply: msg.kind == kindReply, dst: msg.dst}
 	ep.inHandler = true
 	switch msg.kind {
@@ -500,9 +547,9 @@ func (ep *Endpoint) process(msg *message) {
 		panic("am: unknown message kind")
 	}
 	ep.inHandler = false
-	if ep.m.obs != nil {
+	if h := ep.m.hooks; h != nil {
 		bulk := msg.kind == kindBulk || msg.kind == kindBulkReply
-		ep.m.obs.MessageHandled(msg.src, msg.dst, msg.class, bulk, ep.proc.Clock())
+		h.MessageHandled(msg.src, msg.dst, msg.class, bulk, ep.proc.Clock())
 	}
 }
 
@@ -533,15 +580,27 @@ func (ep *Endpoint) pollOne() bool {
 // incoming messages (paying o_recv for each), re-checking the condition
 // between handler invocations — one message at a time, so a saturated
 // inbox cannot postpone a condition that is already true. The reason
-// string appears in deadlock diagnostics.
+// string appears in deadlock diagnostics. The wait is reported to the
+// hooks as WaitData; layers that know better use WaitUntilFor.
 func (ep *Endpoint) WaitUntil(cond func() bool, reason string) {
+	ep.WaitUntilFor(WaitData, cond, reason)
+}
+
+// WaitUntilFor is WaitUntil with an explicit wait classification for the
+// instrumentation hooks (the splitc layer tags its reads, store-syncs,
+// bulk gets, barriers, and lock round trips).
+func (ep *Endpoint) WaitUntilFor(kind WaitKind, cond func() bool, reason string) {
 	if ep.inHandler {
 		panic("am: WaitUntil called from a message handler")
+	}
+	h := ep.m.hooks
+	if h != nil {
+		h.WaitBegin(ep.ID(), kind, ep.proc.Clock())
 	}
 	for {
 		ep.proc.Checkpoint()
 		if cond() {
-			return
+			break
 		}
 		if ep.pollOne() {
 			continue
@@ -552,6 +611,9 @@ func (ep *Endpoint) WaitUntil(cond func() bool, reason string) {
 			continue
 		}
 		ep.proc.Park(reason)
+	}
+	if h != nil {
+		h.WaitEnd(ep.ID(), kind, ep.proc.Clock())
 	}
 }
 

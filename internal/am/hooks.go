@@ -1,0 +1,222 @@
+package am
+
+import "repro/internal/sim"
+
+// WaitKind classifies why an endpoint is blocked inside WaitUntil — the
+// semantic label a profiler needs to charge the idle time to the right
+// account (window stall vs. latency wait vs. barrier wait, …).
+type WaitKind uint8
+
+const (
+	// WaitData is the generic kind: blocked on remote data or an
+	// application-level condition (the default for Endpoint.WaitUntil).
+	WaitData WaitKind = iota
+	// WaitWindow is a capacity stall: the outstanding-request window to
+	// some destination is full.
+	WaitWindow
+	// WaitRead is a blocking remote read awaiting its reply.
+	WaitRead
+	// WaitStore is a store-sync: waiting for issued requests to be acked.
+	WaitStore
+	// WaitBulk is a bulk get awaiting its DMA reply fragments.
+	WaitBulk
+	// WaitBarrier is a barrier or collective notification wait.
+	WaitBarrier
+	// WaitLock is a lock, test-and-set, or atomic-RMW round trip.
+	WaitLock
+)
+
+func (k WaitKind) String() string {
+	switch k {
+	case WaitData:
+		return "data"
+	case WaitWindow:
+		return "window"
+	case WaitRead:
+		return "read"
+	case WaitStore:
+		return "store"
+	case WaitBulk:
+		return "bulk"
+	case WaitBarrier:
+		return "barrier"
+	case WaitLock:
+		return "lock"
+	}
+	return "wait?"
+}
+
+// Hooks is the machine's instrumentation surface: every communication
+// event and every virtual-time charge the Active Message layer makes is
+// reported through it. Attach with Machine.SetHooks (or, one level up,
+// splitc.World.Attach). All methods run synchronously on the simulating
+// goroutine, must not call back into the endpoint, and must not alter
+// virtual time — hooks observe a run, they never change it.
+//
+// Embed NopHooks to implement only the methods you care about.
+type Hooks interface {
+	// MessageSent fires when a host hands a message to its NIC.
+	MessageSent(src, dst int, class Class, bulk bool, at sim.Time)
+	// MessageHandled fires after a handler ran at the receiver.
+	MessageHandled(src, dst int, class Class, bulk bool, at sim.Time)
+	// SendOverhead fires after the o_send charge for one message:
+	// processor proc was busy writing the message to the NIC on [from, to).
+	SendOverhead(proc int, from, to sim.Time)
+	// RecvOverhead fires after the o_recv charge for one message.
+	RecvOverhead(proc int, from, to sim.Time)
+	// ComputeCharged fires after an explicit local-computation charge
+	// (Endpoint.Compute), with the CPU factor already applied.
+	ComputeCharged(proc int, from, to sim.Time)
+	// TxReserved fires when a message reserves the NIC transmit context:
+	// the context is gap-limited on [inject, gapFree) and, for bulk
+	// fragments, DMA-limited on [gapFree, busyFree). For short messages
+	// gapFree == busyFree.
+	TxReserved(proc int, inject, gapFree, busyFree sim.Time)
+	// WaitBegin fires when the processor enters a spin-polling wait.
+	WaitBegin(proc int, kind WaitKind, at sim.Time)
+	// WaitEnd fires when the awaited condition held and the wait returned.
+	WaitEnd(proc int, kind WaitKind, at sim.Time)
+}
+
+// ClockHooks is the optional extension for hooks that must see every raw
+// clock advance (idle spins and wake jumps included, not just charges).
+// When the attached Hooks value also implements ClockHooks, SetHooks
+// wires it to every processor's sim clock hook; the observed spans tile
+// each processor's whole timeline, the invariant behind internal/prof's
+// conservation proof.
+type ClockHooks interface {
+	ClockAdvanced(proc int, kind sim.ClockKind, from, to sim.Time)
+}
+
+// NopHooks is the embeddable no-op base: embed it and override only the
+// events you need, so adding a Hooks method is not a breaking change for
+// downstream instrumentation.
+type NopHooks struct{}
+
+var _ Hooks = NopHooks{}
+
+// MessageSent implements Hooks as a no-op.
+func (NopHooks) MessageSent(src, dst int, class Class, bulk bool, at sim.Time) {}
+
+// MessageHandled implements Hooks as a no-op.
+func (NopHooks) MessageHandled(src, dst int, class Class, bulk bool, at sim.Time) {}
+
+// SendOverhead implements Hooks as a no-op.
+func (NopHooks) SendOverhead(proc int, from, to sim.Time) {}
+
+// RecvOverhead implements Hooks as a no-op.
+func (NopHooks) RecvOverhead(proc int, from, to sim.Time) {}
+
+// ComputeCharged implements Hooks as a no-op.
+func (NopHooks) ComputeCharged(proc int, from, to sim.Time) {}
+
+// TxReserved implements Hooks as a no-op.
+func (NopHooks) TxReserved(proc int, inject, gapFree, busyFree sim.Time) {}
+
+// WaitBegin implements Hooks as a no-op.
+func (NopHooks) WaitBegin(proc int, kind WaitKind, at sim.Time) {}
+
+// WaitEnd implements Hooks as a no-op.
+func (NopHooks) WaitEnd(proc int, kind WaitKind, at sim.Time) {}
+
+// MultiHooks fans every event out to each element in order, so a tracer
+// and a profiler can observe the same run through one attach point.
+type MultiHooks []Hooks
+
+var (
+	_ Hooks      = MultiHooks(nil)
+	_ ClockHooks = MultiHooks(nil)
+)
+
+// MessageSent implements Hooks.
+func (m MultiHooks) MessageSent(src, dst int, class Class, bulk bool, at sim.Time) {
+	for _, h := range m {
+		h.MessageSent(src, dst, class, bulk, at)
+	}
+}
+
+// MessageHandled implements Hooks.
+func (m MultiHooks) MessageHandled(src, dst int, class Class, bulk bool, at sim.Time) {
+	for _, h := range m {
+		h.MessageHandled(src, dst, class, bulk, at)
+	}
+}
+
+// SendOverhead implements Hooks.
+func (m MultiHooks) SendOverhead(proc int, from, to sim.Time) {
+	for _, h := range m {
+		h.SendOverhead(proc, from, to)
+	}
+}
+
+// RecvOverhead implements Hooks.
+func (m MultiHooks) RecvOverhead(proc int, from, to sim.Time) {
+	for _, h := range m {
+		h.RecvOverhead(proc, from, to)
+	}
+}
+
+// ComputeCharged implements Hooks.
+func (m MultiHooks) ComputeCharged(proc int, from, to sim.Time) {
+	for _, h := range m {
+		h.ComputeCharged(proc, from, to)
+	}
+}
+
+// TxReserved implements Hooks.
+func (m MultiHooks) TxReserved(proc int, inject, gapFree, busyFree sim.Time) {
+	for _, h := range m {
+		h.TxReserved(proc, inject, gapFree, busyFree)
+	}
+}
+
+// WaitBegin implements Hooks.
+func (m MultiHooks) WaitBegin(proc int, kind WaitKind, at sim.Time) {
+	for _, h := range m {
+		h.WaitBegin(proc, kind, at)
+	}
+}
+
+// WaitEnd implements Hooks.
+func (m MultiHooks) WaitEnd(proc int, kind WaitKind, at sim.Time) {
+	for _, h := range m {
+		h.WaitEnd(proc, kind, at)
+	}
+}
+
+// ClockAdvanced implements ClockHooks, forwarding to the elements that
+// opted into raw clock events.
+func (m MultiHooks) ClockAdvanced(proc int, kind sim.ClockKind, from, to sim.Time) {
+	for _, h := range m {
+		if ch, ok := h.(ClockHooks); ok {
+			ch.ClockAdvanced(proc, kind, from, to)
+		}
+	}
+}
+
+// observerHooks adapts a legacy Observer to the Hooks interface.
+type observerHooks struct {
+	NopHooks
+	obs Observer
+}
+
+func (o observerHooks) MessageSent(src, dst int, class Class, bulk bool, at sim.Time) {
+	o.obs.MessageSent(src, dst, class, bulk, at)
+}
+
+func (o observerHooks) MessageHandled(src, dst int, class Class, bulk bool, at sim.Time) {
+	o.obs.MessageHandled(src, dst, class, bulk, at)
+}
+
+// HooksFromObserver wraps a legacy Observer as Hooks. Values that already
+// implement Hooks (trace.Recorder after its migration) pass through
+// unchanged, so no event fan-out layer is added.
+func HooksFromObserver(obs Observer) Hooks {
+	if obs == nil {
+		return nil
+	}
+	if h, ok := obs.(Hooks); ok {
+		return h
+	}
+	return observerHooks{obs: obs}
+}

@@ -76,6 +76,7 @@ func simScopes() []string {
 		"internal/apps",
 		"internal/core",
 		"internal/logp",
+		"internal/prof",
 		"internal/splitc",
 	}
 }
@@ -89,6 +90,7 @@ func noGlobalScopes() []string {
 		"internal/exp",
 		"internal/run",
 		"internal/apps",
+		"internal/prof",
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/am"
 	"repro/internal/logp"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/splitc"
 )
@@ -36,7 +37,16 @@ type Config struct {
 	// CPUSpeedup, when nonzero, makes local computation this many times
 	// faster without touching communication costs (§5.5's tradeoff).
 	CPUSpeedup float64
+	// Profile attaches a prof.Profiler to the run and fills Result.Profile
+	// with the per-processor stall attribution.
+	Profile bool
+	// Hooks, when non-nil, is attached to the world's instrumentation seam
+	// (splitc.World.Attach) alongside any profiler.
+	Hooks am.Hooks
 	// Observer, when non-nil, receives every message event (tracing).
+	//
+	// Deprecated: set Hooks instead; Observer is adapted through
+	// am.HooksFromObserver and kept for older callers.
 	Observer am.Observer
 }
 
@@ -73,6 +83,9 @@ type Result struct {
 	Verified bool
 	// Extra carries app-specific measurements (failed lock attempts, …).
 	Extra map[string]float64
+	// Profile is the stall attribution of the run (nil unless
+	// Config.Profile was set).
+	Profile *prof.Profile
 }
 
 // App is one member of the benchmark suite.
@@ -100,15 +113,25 @@ func NewWorld(cfg Config) (*splitc.World, error) {
 	if cfg.CPUSpeedup > 0 {
 		w.Machine().SetCPUFactor(cfg.CPUSpeedup)
 	}
+	var hs []am.Hooks
+	if cfg.Hooks != nil {
+		hs = append(hs, cfg.Hooks)
+	}
 	if cfg.Observer != nil {
-		w.Machine().SetObserver(cfg.Observer)
+		hs = append(hs, am.HooksFromObserver(cfg.Observer))
+	}
+	if cfg.Profile {
+		hs = append(hs, prof.New(cfg.Procs))
+	}
+	if len(hs) > 0 {
+		w.Attach(hs...)
 	}
 	return w, nil
 }
 
 // Finish assembles a Result from a completed world.
 func Finish(app App, cfg Config, w *splitc.World, verified bool) Result {
-	return Result{
+	res := Result{
 		App:      app.Name(),
 		Procs:    cfg.Procs,
 		Elapsed:  w.Elapsed(),
@@ -117,6 +140,10 @@ func Finish(app App, cfg Config, w *splitc.World, verified bool) Result {
 		Verified: verified,
 		Extra:    map[string]float64{},
 	}
+	if pf := prof.Attached(w); pf != nil {
+		res.Profile = pf.Snapshot(w)
+	}
+	return res
 }
 
 // ScaleInt scales a paper-sized integer quantity, keeping at least min.

@@ -226,6 +226,7 @@ func Registry() []Experiment {
 		{"ext-burst", "Extension: burstiness and the gap models", extBurstPlan, extBurstRender},
 		{"ext-tradeoff", "Extension: processor vs network investment", extTradeoffPlan, extTradeoffRender},
 		{"ext-phases", "Extension: Radix phase shares under overhead", extPhasesPlan, extPhasesRender},
+		{"profile", "Stall attribution per application (LogGP accountant)", profilePlan, profileRender},
 	}
 }
 

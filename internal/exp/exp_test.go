@@ -21,7 +21,7 @@ func quickOpts() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig3", "table2", "table3", "fig4", "table4",
 		"fig5a", "fig5b", "table5", "fig6", "table6", "fig7", "fig8",
-		"ext-burst", "ext-tradeoff", "ext-phases"}
+		"ext-burst", "ext-tradeoff", "ext-phases", "profile"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
@@ -173,6 +173,74 @@ func TestDeterminismAcrossJobs(t *testing.T) {
 	parallel := render(8)
 	if serial != parallel {
 		t.Errorf("fig5b differs between jobs=1 and jobs=8:\n--- jobs=1\n%s--- jobs=8\n%s", serial, parallel)
+	}
+}
+
+// TestProfileQuick exercises the stall-attribution experiment end to end
+// on a small app subset: shares must be present, rows must carry the
+// conservation-checked breakdown, and gap stall must show up under Δg
+// for a bursty sender.
+func TestProfileQuick(t *testing.T) {
+	o := quickOpts()
+	o.Apps = []string{"radix", "nowsort"}
+	tab, err := ProfileTable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 apps × 3 points)", len(tab.Rows))
+	}
+	// Column offsets: program, point, run(s), then the share columns in
+	// prof display order (gap is the 4th share), then Δmeas, Δpred.
+	gapCol := 3 + 3
+	share := func(row []string, col int) float64 {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("row %v col %d: %v", row, col, err)
+		}
+		return v
+	}
+	var radixBaseGap, radixDgGap float64
+	for _, row := range tab.Rows {
+		if row[0] == "Radix" && row[1] == "baseline" {
+			radixBaseGap = share(row, gapCol)
+		}
+		if row[0] == "Radix" && strings.HasPrefix(row[1], "Δg") {
+			radixDgGap = share(row, gapCol)
+		}
+	}
+	if radixDgGap <= radixBaseGap {
+		t.Errorf("radix gap share did not grow under Δg: %.1f%% -> %.1f%%", radixBaseGap, radixDgGap)
+	}
+	// NOW-sort is disk-paced: its sleep share must dominate at baseline.
+	for _, row := range tab.Rows {
+		if row[0] == "NOW-sort" && row[1] == "baseline" {
+			if slp := share(row, 3+9); slp < 20 {
+				t.Errorf("NOW-sort sleep share = %.1f%%, want disk-dominated", slp)
+			}
+		}
+	}
+}
+
+// TestProfileDeterminismAcrossJobs extends the byte-identity invariant to
+// the profile table: stall attribution is part of each run's result, so
+// it too must not depend on the worker count.
+func TestProfileDeterminismAcrossJobs(t *testing.T) {
+	o := quickOpts()
+	o.Apps = []string{"radix", "em3d-read", "nowsort"}
+	render := func(jobs int) string {
+		o := o
+		o.Jobs = jobs
+		tab, err := ProfileTable(o)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return tab.Text()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("profile differs between jobs=1 and jobs=8:\n--- jobs=1\n%s--- jobs=8\n%s", serial, parallel)
 	}
 }
 

@@ -1,0 +1,92 @@
+package prof_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/suite"
+	"repro/internal/core"
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+// TestConservationAllApps is the profiler's acceptance property: for
+// every suite application, at baseline and under an overhead knob, every
+// processor's attributed categories sum exactly to the makespan with
+// nothing left unattributed — i.e. the accountant explains every
+// nanosecond of every timeline.
+func TestConservationAllApps(t *testing.T) {
+	points := []struct {
+		name   string
+		params logp.Params
+	}{
+		{"baseline", logp.NOW()},
+		{"o+25us", core.KnobO.Apply(logp.NOW(), 25)},
+	}
+	for _, a := range suite.All() {
+		for _, pt := range points {
+			t.Run(a.Name()+"/"+pt.name, func(t *testing.T) {
+				res, err := a.Run(apps.Config{
+					Procs:     8,
+					Scale:     1.0 / 2048,
+					Seed:      1,
+					Params:    pt.params,
+					Profile:   true,
+					TimeLimit: 120 * sim.Second,
+				})
+				if errors.Is(err, sim.ErrTimeLimit) {
+					t.Skipf("livelocked under %s (expected for lock-based apps at high overhead)", pt.name)
+				}
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				p := res.Profile
+				if p == nil {
+					t.Fatal("Config.Profile set but Result.Profile is nil")
+				}
+				if p.Elapsed != res.Elapsed {
+					t.Fatalf("profile makespan %v, run elapsed %v", p.Elapsed, res.Elapsed)
+				}
+				if len(p.Procs) != 8 {
+					t.Fatalf("breakdowns for %d procs, want 8", len(p.Procs))
+				}
+				if err := p.CheckConservation(); err != nil {
+					t.Fatal(err)
+				}
+				for i := range p.Procs {
+					if u := p.Procs[i].Unattributed; u != 0 {
+						t.Errorf("proc %d: %v unattributed (a charge path is missing its hook)", i, u)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestProfileObservationOnly checks attaching the profiler does not
+// perturb the simulation: elapsed time and message counts are identical
+// with and without it.
+func TestProfileObservationOnly(t *testing.T) {
+	a, err := suite.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := apps.Config{Procs: 8, Scale: 1.0 / 2048, Seed: 1, Params: logp.NOW()}
+	plain, err := a.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profile = true
+	profiled, err := a.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Elapsed != profiled.Elapsed {
+		t.Errorf("profiling changed elapsed: %v vs %v", plain.Elapsed, profiled.Elapsed)
+	}
+	if plain.Summary.AvgMsgsPerProc != profiled.Summary.AvgMsgsPerProc {
+		t.Errorf("profiling changed message count: %g vs %g msgs/proc",
+			plain.Summary.AvgMsgsPerProc, profiled.Summary.AvgMsgsPerProc)
+	}
+}

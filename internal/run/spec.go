@@ -39,6 +39,11 @@ type Spec struct {
 	// CPUSpeedup scales local computation (§5.5's processor-investment
 	// runs); 0 and 1 both mean the machine's own speed and normalize to 0.
 	CPUSpeedup float64
+	// Profile attaches the stall-attribution profiler and fills
+	// Result.Profile. Profiled runs key separately from unprofiled ones:
+	// attribution is observation-only (identical virtual times), but the
+	// distinction keeps Result reuse explicit.
+	Profile bool
 }
 
 // Baseline builds the canonical baseline Spec for an application
@@ -69,7 +74,9 @@ func (s Spec) norm() Spec {
 // applied and no CPU speedup. verify carries the plan-level choice for
 // baseline runs.
 func (s Spec) BaselineSpec(verify bool) Spec {
-	return Baseline(s.App, s.Procs, s.Scale, s.Seed, verify)
+	b := Baseline(s.App, s.Procs, s.Scale, s.Seed, verify)
+	b.Profile = s.Profile
+	return b
 }
 
 // Config builds the application configuration for the spec on a machine.
@@ -82,6 +89,7 @@ func (s Spec) Config(params logp.Params) apps.Config {
 		Seed:       s.Seed,
 		Verify:     s.Verify,
 		CPUSpeedup: s.CPUSpeedup,
+		Profile:    s.Profile,
 	}
 }
 
@@ -90,6 +98,9 @@ func (s Spec) String() string {
 	suffix := ""
 	if s.CPUSpeedup != 0 {
 		suffix = fmt.Sprintf(" cpu×%g", s.CPUSpeedup)
+	}
+	if s.Profile {
+		suffix += " +prof"
 	}
 	if s.IsBaseline() {
 		return fmt.Sprintf("%s/p%d baseline%s", s.App, s.Procs, suffix)

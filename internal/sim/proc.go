@@ -2,6 +2,23 @@ package sim
 
 import "math/rand"
 
+// ClockKind classifies a clock advance for the optional per-processor
+// clock hook (see Proc.SetClockHook).
+type ClockKind uint8
+
+const (
+	// ClockCharge is an explicit Advance: local computation or a
+	// communication overhead charge. The layer issuing the charge knows
+	// what it was for; the hook only guarantees none goes unseen.
+	ClockCharge ClockKind = iota
+	// ClockSpin is an AdvanceTo past idle time toward a known future
+	// event (for example a message already in flight).
+	ClockSpin
+	// ClockWake is the jump a parked processor's clock makes when an
+	// event wakes it at a future time.
+	ClockWake
+)
+
 type procState uint8
 
 const (
@@ -33,6 +50,9 @@ type Proc struct {
 	// them instead of blocking, so no wakeup is ever lost. Kept sorted
 	// ascending; typically empty or a single element.
 	pendingWakes []Time
+
+	// onClock, when set, observes every clock mutation (see SetClockHook).
+	onClock func(kind ClockKind, from, to Time)
 }
 
 func newProc(e *Engine, id int, seed int64) *Proc {
@@ -59,6 +79,14 @@ func (p *Proc) Clock() Time { return p.clock }
 // Rand returns the processor's deterministic PRNG.
 func (p *Proc) Rand() *rand.Rand { return p.rng }
 
+// SetClockHook attaches fn to observe every clock mutation of this
+// processor: explicit charges, idle spins toward known arrivals, and
+// wake-time jumps. Together the observed [from, to) spans tile the
+// processor's entire virtual timeline, which is what lets a profiler
+// prove time-conservation. fn runs synchronously (zero-length advances
+// are skipped) and must not manipulate virtual time. nil detaches.
+func (p *Proc) SetClockHook(fn func(kind ClockKind, from, to Time)) { p.onClock = fn }
+
 // Advance charges d of local computation (or overhead) to the processor.
 // Pure local work never requires a checkpoint: nothing another processor
 // does can affect it, because messages are only observed at poll points.
@@ -66,13 +94,21 @@ func (p *Proc) Advance(d Time) {
 	if d < 0 {
 		panic("sim: Advance with negative duration")
 	}
+	from := p.clock
 	p.clock += d
+	if p.onClock != nil && d > 0 {
+		p.onClock(ClockCharge, from, p.clock)
+	}
 }
 
 // AdvanceTo moves the clock forward to t if t is in the future.
 func (p *Proc) AdvanceTo(t Time) {
 	if t > p.clock {
+		from := p.clock
 		p.clock = t
+		if p.onClock != nil {
+			p.onClock(ClockSpin, from, t)
+		}
 	}
 }
 
@@ -139,7 +175,11 @@ func (p *Proc) WakeAt(t Time) {
 	switch p.state {
 	case stateBlocked:
 		if t > p.clock {
+			from := p.clock
 			p.clock = t
+			if p.onClock != nil {
+				p.onClock(ClockWake, from, t)
+			}
 		}
 		p.state = stateReady
 		p.eng.ready.push(p)

@@ -62,7 +62,7 @@ func (p *Proc) Gather(root int, val uint64) []uint64 {
 		out := make([]uint64, P)
 		out[me] = val
 		need := P - 1
-		p.ep.WaitUntil(func() bool { return len(cs.vals[tag]) >= need }, "splitc: gather")
+		p.ep.WaitUntilFor(am.WaitBarrier, func() bool { return len(cs.vals[tag]) >= need }, "splitc: gather")
 		if len(cs.vals[tag]) != need {
 			panic("splitc: gather arity")
 		}
@@ -108,7 +108,7 @@ func (p *Proc) AllToAll(vals []uint64) []uint64 {
 		p.sendColl(dst, tag, uint64(me)<<56|vals[dst])
 	}
 	// The terminal barrier separates episodes; drain the whole queue.
-	p.ep.WaitUntil(func() bool { return len(cs.vals[tag]) >= need }, "splitc: all-to-all")
+	p.ep.WaitUntilFor(am.WaitBarrier, func() bool { return len(cs.vals[tag]) >= need }, "splitc: all-to-all")
 	if len(cs.vals[tag]) != need {
 		panic("splitc: all-to-all arity")
 	}

@@ -24,7 +24,7 @@ func (p *Proc) ReadWord(g GPtr) uint64 {
 			done = true
 		}, am.Args{v})
 	}, am.Args{g.Pack()})
-	p.ep.WaitUntil(func() bool { return done }, "splitc: blocking read")
+	p.ep.WaitUntilFor(am.WaitRead, func() bool { return done }, "splitc: blocking read")
 	return val
 }
 
@@ -53,7 +53,7 @@ func (p *Proc) WriteWordSync(g GPtr, v uint64) {
 // particular every pipelined store — has been applied at its destination
 // (Split-C's store counter synchronization).
 func (p *Proc) StoreSync() {
-	p.ep.WaitUntil(func() bool { return p.ep.TotalOutstanding() == 0 }, "splitc: store sync")
+	p.ep.WaitUntilFor(am.WaitStore, func() bool { return p.ep.TotalOutstanding() == 0 }, "splitc: store sync")
 }
 
 // fragWords is computed from the machine's bulk fragment size.
@@ -128,7 +128,7 @@ func (p *Proc) BulkGet(g GPtr, n int) []uint64 {
 			}, am.Args{uint64(dstOff)}, buf)
 		}, am.Args{src.Pack(), uint64(count)})
 	}
-	p.ep.WaitUntil(func() bool { return received == n }, "splitc: bulk get")
+	p.ep.WaitUntilFor(am.WaitBulk, func() bool { return received == n }, "splitc: bulk get")
 	return out
 }
 

@@ -17,12 +17,14 @@ import (
 // processors being a full episode apart: per-pair FIFO delivery means
 // "count ≥ episode" implies all earlier episodes arrived too.
 func (p *Proc) Barrier() {
+	p.syncEnter(RegionBarrier)
 	p.StoreSync()
 	w := p.w
 	me := p.ID()
 	P := p.P()
 	if P == 1 {
 		w.m.Stats().CountBarrier()
+		p.syncExit(RegionBarrier)
 		return
 	}
 	bs := &w.barrier[me]
@@ -35,11 +37,12 @@ func (p *Proc) Barrier() {
 			w.barrier[ep.ID()].recvCount[a[0]]++
 		}, am.Args{round})
 		rr := r
-		p.ep.WaitUntil(func() bool { return bs.recvCount[rr] >= target }, "splitc: barrier")
+		p.ep.WaitUntilFor(am.WaitBarrier, func() bool { return bs.recvCount[rr] >= target }, "splitc: barrier")
 	}
 	if me == 0 {
 		w.m.Stats().CountBarrier()
 	}
+	p.syncExit(RegionBarrier)
 }
 
 // collective message tags: reduce rounds, then all-reduce broadcast
@@ -61,7 +64,7 @@ func (p *Proc) sendColl(dst, tag int, val uint64) {
 // recvColl blocks until a value under tag is available and pops it.
 func (p *Proc) recvColl(tag int) uint64 {
 	cs := &p.w.coll[p.ID()]
-	p.ep.WaitUntil(func() bool { return len(cs.vals[tag]) > 0 }, "splitc: collective recv")
+	p.ep.WaitUntilFor(am.WaitBarrier, func() bool { return len(cs.vals[tag]) > 0 }, "splitc: collective recv")
 	v := cs.vals[tag][0]
 	cs.vals[tag] = cs.vals[tag][1:]
 	return v
@@ -179,7 +182,7 @@ func (p *Proc) FetchAdd(g GPtr, delta uint64) uint64 {
 			done = true
 		}, am.Args{v})
 	}, am.Args{g.Pack(), delta})
-	p.ep.WaitUntil(func() bool { return done }, "splitc: fetch-add")
+	p.ep.WaitUntilFor(am.WaitLock, func() bool { return done }, "splitc: fetch-add")
 	return old
 }
 
@@ -209,7 +212,7 @@ func (p *Proc) TryLock(g GPtr) bool {
 			done = true
 		}, am.Args{res})
 	}, am.Args{g.Pack()})
-	p.ep.WaitUntil(func() bool { return done }, "splitc: try-lock")
+	p.ep.WaitUntilFor(am.WaitLock, func() bool { return done }, "splitc: try-lock")
 	return got
 }
 
@@ -224,11 +227,13 @@ const lockSpinCost = 200 * sim.Nanosecond
 // test-and-set requests to it could never be answered); remote attempts
 // are paced by their own round trips. FailedLockAttempts counts retries.
 func (p *Proc) Lock(g GPtr) {
+	p.syncEnter(RegionLock)
 	for !p.TryLock(g) {
 		p.failedLocks++
 		p.Compute(lockSpinCost)
 		p.Poll()
 	}
+	p.syncExit(RegionLock)
 }
 
 // Unlock releases the lock word at g with a pipelined store.
@@ -265,6 +270,6 @@ func (p *Proc) CompareSwap(g GPtr, old, next uint64) bool {
 			done = true
 		}, am.Args{res})
 	}, am.Args{g.Pack(), old, next})
-	p.ep.WaitUntil(func() bool { return done }, "splitc: compare-swap")
+	p.ep.WaitUntilFor(am.WaitLock, func() bool { return done }, "splitc: compare-swap")
 	return ok
 }

@@ -22,11 +22,14 @@ type Event struct {
 	Handled bool // false = sent, true = handler completed
 }
 
-// Recorder implements am.Observer, buffering every message event.
-// Attach with Machine.SetObserver(rec); detach (or let the run end)
-// before reading. Memory is ~48 bytes per event: trace short runs, or
-// use Sample to thin long ones.
+// Recorder buffers every message event. It embeds am.NopHooks, so it
+// implements the full am.Hooks interface while only caring about the two
+// message events; attach with splitc.World.Attach(rec) (or
+// apps.Config.Hooks) and read after the run ends. Memory is ~48 bytes
+// per event: trace short runs, or use Sample to thin long ones.
 type Recorder struct {
+	am.NopHooks
+
 	Events []Event
 	// Limit, when nonzero, caps the number of buffered events; further
 	// events are dropped and counted in Dropped.
@@ -34,14 +37,14 @@ type Recorder struct {
 	Dropped int64
 }
 
-var _ am.Observer = (*Recorder)(nil)
+var _ am.Hooks = (*Recorder)(nil)
 
-// MessageSent implements am.Observer.
+// MessageSent implements am.Hooks.
 func (r *Recorder) MessageSent(src, dst int, class am.Class, bulk bool, at sim.Time) {
 	r.add(Event{At: at, Src: src, Dst: dst, Class: class, Bulk: bulk})
 }
 
-// MessageHandled implements am.Observer.
+// MessageHandled implements am.Hooks.
 func (r *Recorder) MessageHandled(src, dst int, class am.Class, bulk bool, at sim.Time) {
 	r.add(Event{At: at, Src: src, Dst: dst, Class: class, Bulk: bulk, Handled: true})
 }
@@ -144,12 +147,14 @@ func (r *Recorder) Counts() (sent, handled, bulk, reads int64) {
 	return
 }
 
-// Sample returns a thinned copy keeping every k-th event (k >= 1).
+// Sample returns a thinned copy keeping every k-th event (k >= 1). The
+// copy keeps Limit and Dropped, so a thinned timeline still reports that
+// the original recording was truncated.
 func (r *Recorder) Sample(k int) *Recorder {
 	if k < 1 {
 		k = 1
 	}
-	out := &Recorder{}
+	out := &Recorder{Limit: r.Limit, Dropped: r.Dropped}
 	for i, e := range r.Events {
 		if i%k == 0 {
 			out.Events = append(out.Events, e)

@@ -17,7 +17,7 @@ func runTraced(t *testing.T, rec *Recorder) *splitc.World {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Machine().SetObserver(rec)
+	w.Attach(rec)
 	var cells [4]splitc.GPtr
 	err = w.Run(func(p *splitc.Proc) {
 		cells[p.ID()] = p.Alloc(1)
@@ -118,14 +118,27 @@ func TestSample(t *testing.T) {
 	}
 }
 
+func TestSampleKeepsLimitAndDropped(t *testing.T) {
+	rec := &Recorder{Limit: 5}
+	runTraced(t, rec)
+	thin := rec.Sample(2)
+	if thin.Limit != rec.Limit || thin.Dropped != rec.Dropped {
+		t.Errorf("Sample lost truncation state: limit %d->%d, dropped %d->%d",
+			rec.Limit, thin.Limit, rec.Dropped, thin.Dropped)
+	}
+	if !strings.Contains(thin.Timeline(4, 10), "dropped") {
+		t.Error("thinned timeline should still mention the original drops")
+	}
+}
+
 func TestObserverDoesNotPerturbTiming(t *testing.T) {
-	run := func(obs am.Observer) sim.Time {
+	run := func(h am.Hooks) sim.Time {
 		w, err := splitc.NewWorld(4, logp.NOW(), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if obs != nil {
-			w.Machine().SetObserver(obs)
+		if h != nil {
+			w.Attach(h)
 		}
 		var cells [4]splitc.GPtr
 		if err := w.Run(func(p *splitc.Proc) {

@@ -28,6 +28,16 @@
 //		_ = g
 //	})
 //
+// instrument a run (tracing, stall attribution — anything implementing
+// Hooks) through the world's single attach point:
+//
+//	w, _ := repro.NewWorld(4, repro.NOW(), 1)
+//	rec := &repro.TraceRecorder{Limit: 100_000}
+//	pf := repro.NewProfiler(4)
+//	w.Attach(rec, pf)
+//	w.Run(body)
+//	fmt.Print(pf.Snapshot(w).Text())
+//
 // or run a paper experiment:
 //
 //	tab, _ := repro.RunExperiment("fig5b", repro.Options{Quick: true})
@@ -35,11 +45,13 @@
 package repro
 
 import (
+	"repro/internal/am"
 	"repro/internal/apps"
 	"repro/internal/apps/suite"
 	"repro/internal/calib"
 	"repro/internal/exp"
 	"repro/internal/logp"
+	"repro/internal/prof"
 	"repro/internal/run"
 	"repro/internal/sim"
 	"repro/internal/splitc"
@@ -74,9 +86,23 @@ type (
 	Table = exp.Table
 	// Experiment is one reproducible paper artifact.
 	Experiment = exp.Experiment
+	// Hooks is the instrumentation interface: implementations receive
+	// every message event and time charge. Embed NopHooks and override
+	// what you need; attach via World.Attach or AppConfig.Hooks.
+	Hooks = am.Hooks
+	// NopHooks is the no-op base for Hooks implementations.
+	NopHooks = am.NopHooks
 	// TraceRecorder buffers per-message events for timeline rendering;
-	// attach via World.Machine().SetObserver.
+	// attach via World.Attach (or AppConfig.Hooks).
 	TraceRecorder = trace.Recorder
+	// Profiler is the stall-attribution accountant: attach via
+	// World.Attach (or set AppConfig.Profile) and Snapshot after the run.
+	Profiler = prof.Profiler
+	// Profile is a run's per-processor time breakdown; the categories sum
+	// exactly to the makespan on every processor (CheckConservation).
+	Profile = prof.Profile
+	// ProcBreakdown is one processor's attributed time per category.
+	ProcBreakdown = prof.ProcBreakdown
 	// RunSpec is the canonical key of one simulation run (app, procs,
 	// scale, seed, knob, value, verify).
 	RunSpec = run.Spec
@@ -125,6 +151,10 @@ func NewWorld(p int, params Params, seed int64) (*World, error) {
 func NewWorldLimit(p int, params Params, seed int64, limit Time) (*World, error) {
 	return splitc.NewWorldLimit(p, params, seed, limit)
 }
+
+// NewProfiler builds a stall-attribution profiler for a procs-processor
+// world; attach it with World.Attach before Run.
+func NewProfiler(procs int) *Profiler { return prof.New(procs) }
 
 // Calibrate runs the paper's microbenchmarks against a machine and
 // returns its effective LogGP characteristics.
