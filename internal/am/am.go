@@ -22,6 +22,22 @@
 // processor (never asynchronously), may send at most one reply, and must
 // not block; replies are exempt from the window so the layer is
 // deadlock-free.
+//
+// Instrumentation attaches through the Hooks interface (embed NopHooks,
+// attach with Machine.SetHooks or splitc.World.Attach): every message
+// event, overhead charge, transmit-context reservation, and wait span is
+// reported through it, and hooks that also implement ClockHooks see every
+// raw clock advance — the invariant behind internal/prof's conservation
+// proof.
+//
+// The wire is lossless by default. A FaultInjector (Machine.SetFaults;
+// implemented by internal/fault) can drop, duplicate, or delay individual
+// transmissions and stretch processor charges; on top of a lossy wire the
+// optional reliability layer (Machine.SetReliability) adds per-stream
+// sequence numbers, receiver-side dedup and resequencing, cumulative acks
+// piggybacked on every data message plus firmware-level ack packets, and
+// timeout-driven retransmission with exponential backoff — a message that
+// exhausts its retry cap aborts the run with a typed *DeliveryError.
 package am
 
 import (
@@ -35,21 +51,6 @@ import (
 // four 64-bit payload words), used for the paper's "small message KB/s"
 // accounting in Table 4.
 const SmallWireBytes = 28
-
-// Observer is the legacy two-event instrumentation interface, kept as a
-// compatibility shim for one release: Machine.SetObserver wraps it in the
-// Hooks interface that replaced it. New code should implement Hooks
-// (embedding NopHooks) and attach with Machine.SetHooks or
-// splitc.World.Attach. Both callbacks run synchronously on the simulating
-// goroutine and must not call back into the endpoint.
-//
-// Deprecated: implement Hooks instead.
-type Observer interface {
-	// MessageSent fires when a host hands a message to its NIC.
-	MessageSent(src, dst int, class Class, bulk bool, at sim.Time)
-	// MessageHandled fires after a handler ran at the receiver.
-	MessageHandled(src, dst int, class Class, bulk bool, at sim.Time)
-}
 
 // Class tags a message's role for Table 4 accounting.
 type Class uint8
@@ -108,6 +109,13 @@ type message struct {
 	bulkH   BulkHandler
 	args    Args
 	data    []byte
+
+	// Reliability-layer header, populated only when the layer is enabled:
+	// seq is the message's position in the src→dst stream (1-based; 0
+	// means unsequenced), ack piggybacks the sender's cumulative ack for
+	// the reverse dst→src stream (0 means none).
+	seq int64
+	ack int64
 }
 
 // Machine couples a simulation engine with a communication fabric: one
@@ -119,6 +127,13 @@ type Machine struct {
 	eps    []*Endpoint
 	stats  *Stats
 	hooks  Hooks
+
+	// faults, when set, is consulted for every physical wire transmission
+	// and every explicit processor charge (see SetFaults).
+	faults FaultInjector
+	// rel holds the reliability-protocol configuration; nil = lossless
+	// wire assumed, no sequencing (see SetReliability).
+	rel *relConfig
 
 	// cpuFactor scales local computation speed: 2.0 halves every Compute
 	// charge (a processor twice as fast), leaving communication costs
@@ -186,12 +201,6 @@ func (m *Machine) SetHooks(h Hooks) {
 // Hooks returns the attached instrumentation (nil when detached).
 func (m *Machine) Hooks() Hooks { return m.hooks }
 
-// SetObserver attaches a legacy message-event observer (nil detaches) by
-// wrapping it in the Hooks interface.
-//
-// Deprecated: use SetHooks, or splitc.World.Attach one level up.
-func (m *Machine) SetObserver(obs Observer) { m.SetHooks(HooksFromObserver(obs)) }
-
 // SetCPUFactor makes every processor's local computation f× faster
 // (Compute charges are divided by f). Communication overheads are NOT
 // scaled: the network interface limits them, which is exactly the
@@ -224,6 +233,9 @@ type Endpoint struct {
 	outstanding []int
 	// inHandler guards against illegal nested polling from handlers.
 	inHandler bool
+	// rel is this endpoint's reliability-protocol state; nil when the
+	// layer is off (see Machine.SetReliability).
+	rel *relEndpoint
 }
 
 // Proc returns the simulated processor that owns this endpoint.
@@ -250,7 +262,9 @@ func (ep *Endpoint) Compute(d sim.Time) {
 	from := ep.proc.Clock()
 	ep.proc.Advance(d)
 	if h := ep.m.hooks; h != nil && d > 0 {
-		h.ComputeCharged(ep.ID(), from, ep.proc.Clock())
+		// Report the base charge only: a fault-injected stretch extends
+		// the clock past from+d and is reported as ClockStretch instead.
+		h.ComputeCharged(ep.ID(), from, from+d)
 	}
 }
 
@@ -275,14 +289,11 @@ func (ep *Endpoint) Request(dst int, class Class, h Handler, args Args) {
 	// GAM polls the network on every request: senders service arrivals.
 	ep.Poll()
 	ep.waitWindow(dst)
-	p := ep.params()
 	ep.chargeSend()
 	ep.outstanding[dst]++
-	inject := ep.injectShort()
-	arrive := inject + p.EffLatency()
-	msg := &message{kind: kindRequest, src: ep.ID(), dst: dst, class: class, arrival: arrive, handler: h, args: args}
+	msg := &message{kind: kindRequest, src: ep.ID(), dst: dst, class: class, handler: h, args: args}
 	ep.m.stats.countSendAt(ep.ID(), dst, class, false, 0, ep.proc.Clock())
-	ep.m.deliverAt(msg)
+	ep.launch(msg)
 }
 
 // Reply answers the request identified by tok with a short active message.
@@ -299,13 +310,10 @@ func (ep *Endpoint) Reply(tok *Token, h Handler, args Args) {
 		panic("am: Reply with nil handler")
 	}
 	tok.replied = true
-	p := ep.params()
 	ep.chargeSend()
-	inject := ep.injectShort()
-	arrive := inject + p.EffLatency()
-	msg := &message{kind: kindReply, src: ep.ID(), dst: tok.Src, class: tok.Class, arrival: arrive, handler: h, args: args}
+	msg := &message{kind: kindReply, src: ep.ID(), dst: tok.Src, class: tok.Class, handler: h, args: args}
 	ep.m.stats.countSendAt(ep.ID(), tok.Src, tok.Class, false, 0, ep.proc.Clock())
-	ep.m.deliverAt(msg)
+	ep.launch(msg)
 }
 
 // Store sends one bulk fragment (≤ FragmentSize bytes) to dst, invoking h
@@ -327,13 +335,11 @@ func (ep *Endpoint) Store(dst int, class Class, h BulkHandler, args Args, data [
 	ep.waitWindow(dst)
 	ep.chargeSend()
 	ep.outstanding[dst]++
-	inject := ep.injectBulk(len(data))
-	arrive := inject + p.EffLatency() + p.BulkTime(len(data))
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	msg := &message{kind: kindBulk, src: ep.ID(), dst: dst, class: class, arrival: arrive, bulkH: h, args: args, data: buf}
+	msg := &message{kind: kindBulk, src: ep.ID(), dst: dst, class: class, bulkH: h, args: args, data: buf}
 	ep.m.stats.countSendAt(ep.ID(), dst, class, true, len(data), ep.proc.Clock())
-	ep.m.deliverAt(msg)
+	ep.launch(msg)
 }
 
 // ReplyBulk answers the request identified by tok with one bulk fragment —
@@ -355,14 +361,12 @@ func (ep *Endpoint) ReplyBulk(tok *Token, h BulkHandler, args Args, data []byte)
 		panic(fmt.Sprintf("am: ReplyBulk of %d bytes exceeds fragment size %d", len(data), p.FragmentSize))
 	}
 	tok.replied = true
-	ep.chargeSend()
-	inject := ep.injectBulk(len(data))
-	arrive := inject + p.EffLatency() + p.BulkTime(len(data))
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	msg := &message{kind: kindBulkReply, src: ep.ID(), dst: tok.Src, class: tok.Class, arrival: arrive, bulkH: h, args: args, data: buf}
+	msg := &message{kind: kindBulkReply, src: ep.ID(), dst: tok.Src, class: tok.Class, bulkH: h, args: args, data: buf}
+	ep.chargeSend()
 	ep.m.stats.countSendAt(ep.ID(), tok.Src, tok.Class, true, len(data), ep.proc.Clock())
-	ep.m.deliverAt(msg)
+	ep.launch(msg)
 }
 
 // StoreLarge splits data into fragments and Stores each; h runs on the
@@ -394,9 +398,10 @@ func (ep *Endpoint) waitWindow(dst int) {
 // experiment's added overhead).
 func (ep *Endpoint) chargeSend() {
 	from := ep.proc.Clock()
-	ep.proc.Advance(ep.params().EffOSend())
+	o := ep.params().EffOSend()
+	ep.proc.Advance(o)
 	if h := ep.m.hooks; h != nil {
-		h.SendOverhead(ep.ID(), from, ep.proc.Clock())
+		h.SendOverhead(ep.ID(), from, from+o)
 	}
 }
 
@@ -432,21 +437,80 @@ func (ep *Endpoint) injectBulk(n int) sim.Time {
 	return inject
 }
 
-// deliverAt schedules msg's arrival at its destination endpoint. A reply
-// frees its window credit at arrival: the NIC manages credits, so the host
-// need not have polled yet.
-func (m *Machine) deliverAt(msg *message) {
-	if m.hooks != nil {
-		bulk := msg.kind == kindBulk || msg.kind == kindBulkReply
-		m.hooks.MessageSent(msg.src, msg.dst, msg.class, bulk, m.eps[msg.src].proc.Clock())
+// launch puts msg on the wire for the first time: it reserves the NIC
+// transmit context, computes the nominal arrival instant, and hands the
+// message either to the reliability layer (which sequences and registers
+// it for retransmission) or directly to the wire. Every host-initiated
+// send — short or bulk, request or reply — passes through here exactly
+// once; retransmissions re-enter at putOnWire.
+func (ep *Endpoint) launch(msg *message) {
+	p := ep.params()
+	bulk := msg.kind == kindBulk || msg.kind == kindBulkReply
+	var inject sim.Time
+	wire := p.EffLatency()
+	if bulk {
+		inject = ep.injectBulk(len(msg.data))
+		wire += p.BulkTime(len(msg.data))
+	} else {
+		inject = ep.injectShort()
 	}
+	if ep.m.hooks != nil {
+		ep.m.hooks.MessageSent(msg.src, msg.dst, msg.class, bulk, ep.proc.Clock())
+	}
+	if r := ep.rel; r != nil {
+		r.send(ep, msg, inject, inject+wire)
+		return
+	}
+	ep.m.putOnWire(msg, inject, inject+wire, false)
+}
+
+// putOnWire performs one physical transmission of msg: the fault injector
+// (if any) may drop it, duplicate it, or add wire delay; whatever survives
+// is scheduled to arrive. retrans marks reliability-layer retransmissions.
+func (m *Machine) putOnWire(msg *message, inject, arrival sim.Time, retrans bool) {
+	if f := m.faults; f != nil {
+		bulk := msg.kind == kindBulk || msg.kind == kindBulkReply
+		act := f.OnWire(WireMsg{
+			Src:        msg.src,
+			Dst:        msg.dst,
+			Class:      msg.class,
+			Bulk:       bulk,
+			Reply:      msg.kind == kindReply || msg.kind == kindBulkReply,
+			Retransmit: retrans,
+			Seq:        msg.seq,
+		}, inject)
+		if act.ExtraLatency > 0 {
+			arrival += act.ExtraLatency
+		}
+		if act.Drop {
+			m.stats.WireDrops++
+			return
+		}
+		if act.Duplicate {
+			m.stats.WireDups++
+			m.scheduleArrival(msg, arrival)
+		}
+	}
+	m.scheduleArrival(msg, arrival)
+}
+
+// scheduleArrival registers msg's arrival at its destination NIC. With
+// the reliability layer off, a reply frees its window credit at arrival
+// (the NIC manages credits, so the host need not have polled yet); with
+// it on, the receiving NIC's protocol state decides what to deliver.
+func (m *Machine) scheduleArrival(msg *message, at sim.Time) {
 	dst := m.eps[msg.dst]
-	m.eng.ScheduleAt(msg.arrival, func() {
+	if dst.rel != nil {
+		m.eng.ScheduleAt(at, func() { dst.rel.arrive(dst, msg, at) })
+		return
+	}
+	msg.arrival = at
+	m.eng.ScheduleAt(at, func() {
 		if msg.kind == kindReply || msg.kind == kindBulkReply {
 			dst.outstanding[msg.src]--
 		}
 		dst.pushInbox(msg)
-		dst.proc.WakeAt(msg.arrival)
+		dst.proc.WakeAt(at)
 	})
 }
 
@@ -516,11 +580,11 @@ func (ep *Endpoint) Poll() {
 
 // process consumes one arrived message on the host.
 func (ep *Endpoint) process(msg *message) {
-	p := ep.params()
 	from := ep.proc.Clock()
-	ep.proc.Advance(p.EffORecv())
+	o := ep.params().EffORecv()
+	ep.proc.Advance(o)
 	if h := ep.m.hooks; h != nil {
-		h.RecvOverhead(ep.ID(), from, ep.proc.Clock())
+		h.RecvOverhead(ep.ID(), from, from+o)
 	}
 	tok := &Token{Src: msg.src, Class: msg.class, IsReply: msg.kind == kindReply, dst: msg.dst}
 	ep.inHandler = true

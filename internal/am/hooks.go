@@ -72,6 +72,12 @@ type Hooks interface {
 	// fragments, DMA-limited on [gapFree, busyFree). For short messages
 	// gapFree == busyFree.
 	TxReserved(proc int, inject, gapFree, busyFree sim.Time)
+	// TxRetransmit fires when the reliability layer re-injects an unacked
+	// message: the NIC transmit context is occupied exactly as for
+	// TxReserved, but no host overhead is charged (the retransmission is
+	// firmware-initiated). Profilers charge the occupied span to a
+	// retransmit account rather than the ordinary gap/bulk accounts.
+	TxRetransmit(proc int, inject, gapFree, busyFree sim.Time)
 	// WaitBegin fires when the processor enters a spin-polling wait.
 	WaitBegin(proc int, kind WaitKind, at sim.Time)
 	// WaitEnd fires when the awaited condition held and the wait returned.
@@ -112,6 +118,9 @@ func (NopHooks) ComputeCharged(proc int, from, to sim.Time) {}
 
 // TxReserved implements Hooks as a no-op.
 func (NopHooks) TxReserved(proc int, inject, gapFree, busyFree sim.Time) {}
+
+// TxRetransmit implements Hooks as a no-op.
+func (NopHooks) TxRetransmit(proc int, inject, gapFree, busyFree sim.Time) {}
 
 // WaitBegin implements Hooks as a no-op.
 func (NopHooks) WaitBegin(proc int, kind WaitKind, at sim.Time) {}
@@ -170,6 +179,13 @@ func (m MultiHooks) TxReserved(proc int, inject, gapFree, busyFree sim.Time) {
 	}
 }
 
+// TxRetransmit implements Hooks.
+func (m MultiHooks) TxRetransmit(proc int, inject, gapFree, busyFree sim.Time) {
+	for _, h := range m {
+		h.TxRetransmit(proc, inject, gapFree, busyFree)
+	}
+}
+
 // WaitBegin implements Hooks.
 func (m MultiHooks) WaitBegin(proc int, kind WaitKind, at sim.Time) {
 	for _, h := range m {
@@ -192,31 +208,4 @@ func (m MultiHooks) ClockAdvanced(proc int, kind sim.ClockKind, from, to sim.Tim
 			ch.ClockAdvanced(proc, kind, from, to)
 		}
 	}
-}
-
-// observerHooks adapts a legacy Observer to the Hooks interface.
-type observerHooks struct {
-	NopHooks
-	obs Observer
-}
-
-func (o observerHooks) MessageSent(src, dst int, class Class, bulk bool, at sim.Time) {
-	o.obs.MessageSent(src, dst, class, bulk, at)
-}
-
-func (o observerHooks) MessageHandled(src, dst int, class Class, bulk bool, at sim.Time) {
-	o.obs.MessageHandled(src, dst, class, bulk, at)
-}
-
-// HooksFromObserver wraps a legacy Observer as Hooks. Values that already
-// implement Hooks (trace.Recorder after its migration) pass through
-// unchanged, so no event fan-out layer is added.
-func HooksFromObserver(obs Observer) Hooks {
-	if obs == nil {
-		return nil
-	}
-	if h, ok := obs.(Hooks); ok {
-		return h
-	}
-	return observerHooks{obs: obs}
 }

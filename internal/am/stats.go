@@ -33,6 +33,15 @@ type Stats struct {
 	// consecutive sends (burstiness instrumentation, §5.2).
 	SendIntervals []Histogram
 	lastSend      []int64 // virtual ns of the previous send; -1 = none
+
+	// Fault-injection and reliability-protocol counters, machine-wide.
+	// These count NIC-level events, so they are deliberately excluded
+	// from the paper's host-message accounting above: a retransmission or
+	// a wire duplicate never touches a host processor.
+	Retransmits   int64 // reliability-layer re-injections
+	WireDrops     int64 // transmissions lost by the fault injector
+	WireDups      int64 // transmissions duplicated by the fault injector
+	DupsDiscarded int64 // arrivals discarded by receiver-side dedup
 }
 
 func newStats(p int) *Stats {
@@ -89,6 +98,10 @@ func (s *Stats) Reset() {
 		s.lastSend[i] = -1
 	}
 	s.Barriers = 0
+	s.Retransmits = 0
+	s.WireDrops = 0
+	s.WireDups = 0
+	s.DupsDiscarded = 0
 }
 
 // P returns the processor count the stats were sized for.

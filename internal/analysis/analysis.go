@@ -75,6 +75,7 @@ func simScopes() []string {
 		"internal/am",
 		"internal/apps",
 		"internal/core",
+		"internal/fault",
 		"internal/logp",
 		"internal/prof",
 		"internal/splitc",
@@ -90,6 +91,7 @@ func noGlobalScopes() []string {
 		"internal/exp",
 		"internal/run",
 		"internal/apps",
+		"internal/fault",
 		"internal/prof",
 	}
 }

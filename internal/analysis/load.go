@@ -174,6 +174,9 @@ type loader struct {
 	modPath string
 	imports map[string]*types.Package
 	loading map[string]bool
+	// deps records each cached module-internal package's module-internal
+	// direct imports, for purgeDependents.
+	deps map[string][]string
 	// override temporarily maps an import path to a test-augmented
 	// package while checking its external test package.
 	override map[string]*types.Package
@@ -189,6 +192,7 @@ func newLoader(root, modPath string) *loader {
 		modPath:  modPath,
 		imports:  map[string]*types.Package{},
 		loading:  map[string]bool{},
+		deps:     map[string][]string{},
 		override: map[string]*types.Package{},
 	}
 }
@@ -238,10 +242,19 @@ func (ld *loader) checkDirAs(dir, importPath string) ([]*Package, error) {
 		}
 		// The external test package imports the subject package; resolve
 		// that import to the test-augmented package so export_test.go
-		// declarations are visible.
+		// declarations are visible. Cached packages that themselves import
+		// the subject were checked against the cache's own interface-only
+		// copy — a distinct types.Package whose named types are not
+		// identical to the override's — so purge them on both sides of the
+		// check: deps the test package pulls in re-resolve against the
+		// override, and later packages rebuild a self-consistent cache.
+		// Packages that don't depend on the subject stay cached, keeping
+		// their types identical to the subject package's own references.
+		ld.purgeDependents(importPath)
 		ld.override[importPath] = main.Pkg
 		xt, err := ld.checkFiles(importPath+"_test", dir, xfiles)
 		delete(ld.override, importPath)
+		ld.purgeDependents(importPath)
 		if err != nil {
 			return nil, err
 		}
@@ -277,6 +290,36 @@ func (ld *loader) checkFiles(path, dir string, files []*ast.File) (*Package, err
 		return nil, fmt.Errorf("type-checking %s: %w", path, err)
 	}
 	return &Package{Path: path, Dir: dir, Fset: ld.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// purgeDependents drops from the import cache every package that
+// transitively imports target (target's own cached copy stays: while an
+// override is active it is shadowed, and outside one it is consistent).
+// Standard-library entries never import module packages, so they are
+// untouched by construction of the deps record.
+func (ld *loader) purgeDependents(target string) {
+	bad := map[string]bool{target: true}
+	for changed := true; changed; {
+		changed = false
+		for p, dd := range ld.deps {
+			if bad[p] {
+				continue
+			}
+			for _, d := range dd {
+				if bad[d] {
+					bad[p] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for p := range bad {
+		if p != target {
+			delete(ld.imports, p)
+			delete(ld.deps, p)
+		}
+	}
 }
 
 // Import implements types.Importer.
@@ -329,6 +372,15 @@ func (ld *loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Pa
 		return nil, fmt.Errorf("import %q: type-checking failed", path)
 	}
 	ld.imports[path] = pkg
+	if ld.modPath != "" {
+		var mod []string
+		for _, ip := range bp.Imports {
+			if ip == ld.modPath || strings.HasPrefix(ip, ld.modPath+"/") {
+				mod = append(mod, ip)
+			}
+		}
+		ld.deps[path] = mod
+	}
 	return pkg, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"repro/internal/am"
+	"repro/internal/fault"
 	"repro/internal/logp"
 	"repro/internal/prof"
 	"repro/internal/sim"
@@ -43,11 +44,15 @@ type Config struct {
 	// Hooks, when non-nil, is attached to the world's instrumentation seam
 	// (splitc.World.Attach) alongside any profiler.
 	Hooks am.Hooks
-	// Observer, when non-nil, receives every message event (tracing).
-	//
-	// Deprecated: set Hooks instead; Observer is adapted through
-	// am.HooksFromObserver and kept for older callers.
-	Observer am.Observer
+	// FaultPlan, when non-nil and non-empty, is compiled with Seed into a
+	// deterministic fault.Injector and attached to the machine. A lossy
+	// plan (drops or duplications) requires Reliability.Enabled; NewWorld
+	// rejects the combination otherwise, because a lossless-wire protocol
+	// cannot survive a lossy wire.
+	FaultPlan *fault.Plan
+	// Reliability configures the AM-layer reliability protocol
+	// (sequencing, dedup, acks, timeout retransmission).
+	Reliability am.Reliability
 }
 
 // DefaultScale is the harness-wide default input scale.
@@ -113,12 +118,22 @@ func NewWorld(cfg Config) (*splitc.World, error) {
 	if cfg.CPUSpeedup > 0 {
 		w.Machine().SetCPUFactor(cfg.CPUSpeedup)
 	}
+	if cfg.Reliability.Enabled {
+		w.Machine().SetReliability(cfg.Reliability)
+	}
+	if cfg.FaultPlan != nil && !cfg.FaultPlan.Empty() {
+		inj, err := fault.New(*cfg.FaultPlan, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if inj.Lossy() && !cfg.Reliability.Enabled {
+			return nil, fmt.Errorf("apps: fault plan drops or duplicates messages; set Config.Reliability.Enabled")
+		}
+		w.Machine().SetFaults(inj)
+	}
 	var hs []am.Hooks
 	if cfg.Hooks != nil {
 		hs = append(hs, cfg.Hooks)
-	}
-	if cfg.Observer != nil {
-		hs = append(hs, am.HooksFromObserver(cfg.Observer))
 	}
 	if cfg.Profile {
 		hs = append(hs, prof.New(cfg.Procs))

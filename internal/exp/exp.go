@@ -227,6 +227,7 @@ func Registry() []Experiment {
 		{"ext-tradeoff", "Extension: processor vs network investment", extTradeoffPlan, extTradeoffRender},
 		{"ext-phases", "Extension: Radix phase shares under overhead", extPhasesPlan, extPhasesRender},
 		{"profile", "Stall attribution per application (LogGP accountant)", profilePlan, profileRender},
+		{"faults", "Extension: fault injection — delay propagation and lossy-wire recovery", faultsPlan, faultsRender},
 	}
 }
 

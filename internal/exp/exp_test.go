@@ -21,7 +21,7 @@ func quickOpts() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig3", "table2", "table3", "fig4", "table4",
 		"fig5a", "fig5b", "table5", "fig6", "table6", "fig7", "fig8",
-		"ext-burst", "ext-tradeoff", "ext-phases", "profile"}
+		"ext-burst", "ext-tradeoff", "ext-phases", "profile", "faults"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
@@ -241,6 +241,93 @@ func TestProfileDeterminismAcrossJobs(t *testing.T) {
 	parallel := render(8)
 	if serial != parallel {
 		t.Errorf("profile differs between jobs=1 and jobs=8:\n--- jobs=1\n%s--- jobs=8\n%s", serial, parallel)
+	}
+}
+
+// TestFaultsQuick exercises the fault-injection experiment end to end on
+// a small app subset: the delay probe must report a propagation share,
+// the lossless reliable row must stay near slowdown 1 with zero
+// retransmissions, and lossy rows must both drop and retransmit.
+func TestFaultsQuick(t *testing.T) {
+	o := quickOpts()
+	o.Apps = []string{"radix", "nowsort"}
+	tab, err := Faults(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 apps × (1 delay + 3 quick drop rates).
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tab.Rows))
+	}
+	const (
+		colSlow    = 3
+		colProp    = 5
+		colRetrans = 6
+		colDrops   = 7
+	)
+	var totalDrops int64
+	for _, row := range tab.Rows {
+		switch {
+		case strings.HasPrefix(row[1], "delay"):
+			prop, err := strconv.ParseFloat(row[colProp], 64)
+			if err != nil {
+				t.Fatalf("delay row %v: prop%% not numeric: %v", row, err)
+			}
+			if prop < 0 {
+				t.Errorf("%s: negative propagation %.1f%%", row[0], prop)
+			}
+			if row[colRetrans] != "0" || row[colDrops] != "0" {
+				t.Errorf("delay row %v retransmitted or dropped", row)
+			}
+		case row[1] == "reliable, lossless":
+			if row[colRetrans] != "0" || row[colDrops] != "0" {
+				t.Errorf("lossless reliable row %v retransmitted or dropped", row)
+			}
+			slow, _ := strconv.ParseFloat(row[colSlow], 64)
+			if slow < 0.99 || slow > 1.2 {
+				t.Errorf("%s: lossless reliable slowdown = %.2f, want ≈1", row[0], slow)
+			}
+		default: // lossy rows
+			drops, _ := strconv.ParseInt(row[colDrops], 10, 64)
+			retrans, _ := strconv.ParseInt(row[colRetrans], 10, 64)
+			totalDrops += drops
+			// Every loss must eventually be repaired by a retransmission
+			// (acks ride a lossless control channel, so none is spurious).
+			if retrans < drops {
+				t.Errorf("lossy row %v: retrans %d < drops %d", row, retrans, drops)
+			}
+			slow, _ := strconv.ParseFloat(row[colSlow], 64)
+			if slow < 1.0 {
+				t.Errorf("lossy row %v: slowdown %.2f < 1", row, slow)
+			}
+		}
+	}
+	// Small inputs can dodge the low rates, but across both apps and all
+	// rates the wire must have lost something.
+	if totalDrops == 0 {
+		t.Error("no lossy row dropped anything; injector not wired?")
+	}
+}
+
+// TestFaultsDeterminismAcrossJobs extends the byte-identity invariant to
+// the faults table: fault draws come from each run's own seeded stream,
+// so the table must not depend on the worker count.
+func TestFaultsDeterminismAcrossJobs(t *testing.T) {
+	o := quickOpts()
+	o.Apps = []string{"radix", "em3d-read", "nowsort"}
+	render := func(jobs int) string {
+		o := o
+		o.Jobs = jobs
+		tab, err := Faults(o)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return tab.Text()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("faults differs between jobs=1 and jobs=8:\n--- jobs=1\n%s--- jobs=8\n%s", serial, parallel)
 	}
 }
 

@@ -123,7 +123,10 @@ func profileRender(o Options, st *run.Store) (*Table, error) {
 				return nil, fmt.Errorf("%s %s: %w", a.Name(), pt.label, err)
 			}
 			row := []string{a.PaperName(), pt.label, secs(res.Elapsed.Seconds())}
-			for _, c := range prof.Categories() {
+			// Paper categories only: profiled runs here are fault-free, so
+			// the fault-injection accounts are structurally zero and the
+			// table layout predates them.
+			for _, c := range prof.PaperCategories() {
 				row = append(row, fmt.Sprintf("%.1f", 100*p.Share(c)))
 			}
 			switch pt.knob {

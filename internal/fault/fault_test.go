@@ -1,0 +1,235 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/am"
+	"repro/internal/sim"
+)
+
+func wmsg(src, dst, class int) am.WireMsg {
+	return am.WireMsg{Src: src, Dst: dst, Class: am.Class(class)}
+}
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		m    Match
+		w    am.WireMsg
+		want bool
+	}{
+		{Any(), wmsg(3, 7, 2), true},
+		{Match{Src: 3, Dst: -1, Class: -1}, wmsg(3, 7, 2), true},
+		{Match{Src: 4, Dst: -1, Class: -1}, wmsg(3, 7, 2), false},
+		{Match{Src: -1, Dst: 7, Class: -1}, wmsg(3, 7, 2), true},
+		{Match{Src: -1, Dst: 6, Class: -1}, wmsg(3, 7, 2), false},
+		{Match{Src: -1, Dst: -1, Class: 2}, wmsg(3, 7, 2), true},
+		{Match{Src: -1, Dst: -1, Class: 1}, wmsg(3, 7, 2), false},
+		{Match{}, wmsg(0, 0, 0), true}, // zero value is a real selector
+		{Match{}, wmsg(0, 1, 0), false},
+	}
+	for i, c := range cases {
+		if got := c.m.matches(c.w); got != c.want {
+			t.Errorf("case %d: %+v matches %+v = %v, want %v", i, c.m, c.w, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{Drops: []DropRule{{Match: Any(), Prob: -0.1}}},
+		{Drops: []DropRule{{Match: Any(), Prob: 1.5}}},
+		{Drops: []DropRule{{Match: Any(), Nth: -1}}},
+		{Dups: []DupRule{{Match: Any(), Prob: 2}}},
+		{WireDelays: []WireDelayRule{{Match: Any(), Extra: -1}}},
+		{LinkDelays: []LinkDelayWindow{{Match: Any(), From: 10, To: 5, Extra: 1}}},
+		{ProcDelays: []ProcDelay{{Proc: -1, Extra: 1}}},
+		{ProcDelays: []ProcDelay{{Proc: 0, Extra: -1}}},
+		{Slowdowns: []SlowdownWindow{{Proc: 0, Factor: 0.5}}},
+		{Slowdowns: []SlowdownWindow{{Proc: 0, From: 10, To: 5, Factor: 2}}},
+	}
+	for i, p := range bad {
+		if _, err := New(p, 1); err == nil {
+			t.Errorf("bad plan %d accepted: %+v", i, p)
+		}
+	}
+	good := Plan{
+		Drops:      []DropRule{{Match: Any(), Prob: 0.5}, {Match: Any(), Nth: 3}},
+		Dups:       []DupRule{{Match: Any(), Prob: 1}},
+		WireDelays: []WireDelayRule{{Match: Any(), Extra: 10}},
+		LinkDelays: []LinkDelayWindow{{Match: Any(), From: 0, To: 100, Extra: 5}},
+		ProcDelays: []ProcDelay{{Proc: 2, At: 50, Extra: 1000}},
+		Slowdowns:  []SlowdownWindow{{Proc: 1, From: 0, To: 100, Factor: 2}},
+	}
+	if _, err := New(good, 1); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+	if !good.Lossy() {
+		t.Error("plan with drops not Lossy")
+	}
+	if good.Empty() {
+		t.Error("non-empty plan reported Empty")
+	}
+	if !(Plan{}).Empty() || (Plan{}).Lossy() {
+		t.Error("zero plan must be Empty and not Lossy")
+	}
+}
+
+// TestSeedDeterminism: equal plans with equal seeds must make identical
+// decisions over identical transmission sequences; a different seed must
+// diverge somewhere.
+func TestSeedDeterminism(t *testing.T) {
+	plan := Plan{
+		Drops: []DropRule{{Match: Any(), Prob: 0.3}},
+		Dups:  []DupRule{{Match: Any(), Prob: 0.2}},
+	}
+	decisions := func(seed int64) []am.FaultAction {
+		in := MustNew(plan, seed)
+		var out []am.FaultAction
+		for i := 0; i < 200; i++ {
+			out = append(out, in.OnWire(wmsg(i%8, (i+3)%8, 0), sim.Time(i)))
+		}
+		return out
+	}
+	a, b := decisions(7), decisions(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at transmission %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := decisions(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 made identical decisions over 200 draws")
+	}
+}
+
+// TestNthDrop: Nth rules are deterministic single-shots counted over
+// matching transmissions only, with no PRNG involvement.
+func TestNthDrop(t *testing.T) {
+	in := MustNew(Plan{
+		Drops: []DropRule{{Match: Match{Src: 1, Dst: -1, Class: -1}, Nth: 2}},
+	}, 1)
+	seq := []struct {
+		w    am.WireMsg
+		drop bool
+	}{
+		{wmsg(0, 1, 0), false}, // not matching: does not advance the counter
+		{wmsg(1, 2, 0), false}, // 1st match
+		{wmsg(1, 3, 0), true},  // 2nd match: dropped
+		{wmsg(1, 4, 0), false}, // 3rd: single-shot is spent
+	}
+	for i, s := range seq {
+		if got := in.OnWire(s.w, 0).Drop; got != s.drop {
+			t.Errorf("transmission %d: Drop = %v, want %v", i, got, s.drop)
+		}
+	}
+}
+
+func TestWireDelayEveryVsNth(t *testing.T) {
+	in := MustNew(Plan{
+		WireDelays: []WireDelayRule{
+			{Match: Any(), Extra: 10},          // every transmission
+			{Match: Any(), Nth: 2, Extra: 100}, // only the second
+		},
+	}, 1)
+	want := []sim.Time{10, 110, 10}
+	for i, w := range want {
+		if got := in.OnWire(wmsg(0, 1, 0), 0).ExtraLatency; got != w {
+			t.Errorf("transmission %d: ExtraLatency = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestLinkDelayWindow(t *testing.T) {
+	in := MustNew(Plan{
+		LinkDelays: []LinkDelayWindow{{Match: Match{Src: -1, Dst: 5, Class: -1}, From: 100, To: 200, Extra: 7}},
+	}, 1)
+	cases := []struct {
+		w      am.WireMsg
+		inject sim.Time
+		want   sim.Time
+	}{
+		{wmsg(0, 5, 0), 99, 0},  // before the window
+		{wmsg(0, 5, 0), 100, 7}, // inclusive start
+		{wmsg(0, 5, 0), 199, 7}, // inside
+		{wmsg(0, 5, 0), 200, 0}, // exclusive end
+		{wmsg(0, 4, 0), 150, 0}, // wrong link
+	}
+	for i, c := range cases {
+		if got := in.OnWire(c.w, c.inject).ExtraLatency; got != c.want {
+			t.Errorf("case %d: ExtraLatency = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// TestProcDelayFiresOnce: the one-off stall attaches to the first charge
+// ending at or after At, on the named processor only, exactly once.
+func TestProcDelayFiresOnce(t *testing.T) {
+	in := MustNew(Plan{
+		ProcDelays: []ProcDelay{{Proc: 2, At: 100, Extra: 1000}},
+	}, 1)
+	if got := in.ChargeExtra(2, 0, 50); got != 0 {
+		t.Errorf("charge ending before At stalled: %v", got)
+	}
+	if got := in.ChargeExtra(1, 90, 20); got != 0 {
+		t.Errorf("wrong processor stalled: %v", got)
+	}
+	if got := in.ChargeExtra(2, 90, 20); got != 1000 {
+		t.Errorf("first charge ending past At = %v, want 1000", got)
+	}
+	if got := in.ChargeExtra(2, 200, 50); got != 0 {
+		t.Errorf("one-off stall fired twice: %v", got)
+	}
+}
+
+func TestSlowdownWindow(t *testing.T) {
+	in := MustNew(Plan{
+		Slowdowns: []SlowdownWindow{{Proc: 3, From: 100, To: 200, Factor: 1.5}},
+	}, 1)
+	if got := in.ChargeExtra(3, 150, 100); got != 50 {
+		t.Errorf("charge of 100 at ×1.5 = extra %v, want 50", got)
+	}
+	if got := in.ChargeExtra(3, 99, 100); got != 0 {
+		t.Errorf("charge starting before the window slowed: %v", got)
+	}
+	if got := in.ChargeExtra(3, 200, 100); got != 0 {
+		t.Errorf("charge starting at the exclusive end slowed: %v", got)
+	}
+	if got := in.ChargeExtra(2, 150, 100); got != 0 {
+		t.Errorf("wrong processor slowed: %v", got)
+	}
+	// Factor 1 is a no-op window.
+	noop := MustNew(Plan{Slowdowns: []SlowdownWindow{{Proc: 0, From: 0, To: 1000, Factor: 1}}}, 1)
+	if got := noop.ChargeExtra(0, 10, 100); got != 0 {
+		t.Errorf("Factor 1 produced extra %v", got)
+	}
+}
+
+// TestDrawIsolation: probability draws happen only for matching rules, so
+// traffic a rule ignores cannot shift its schedule.
+func TestDrawIsolation(t *testing.T) {
+	plan := Plan{Drops: []DropRule{{Match: Match{Src: 1, Dst: -1, Class: -1}, Prob: 0.5}}}
+	run := func(noise bool) []bool {
+		in := MustNew(plan, 42)
+		var out []bool
+		for i := 0; i < 100; i++ {
+			if noise {
+				in.OnWire(wmsg(0, 2, 0), sim.Time(i)) // never matches
+			}
+			out = append(out, in.OnWire(wmsg(1, 2, 0), sim.Time(i)).Drop)
+		}
+		return out
+	}
+	quiet, noisy := run(false), run(true)
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("unmatched traffic perturbed rule draws at transmission %d", i)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 // Package prof is a per-processor virtual-time accountant: attached to a
 // run through the am.Hooks instrumentation seam, it classifies every
-// nanosecond of every processor's timeline into one of ten categories —
-// compute, send overhead, receive overhead, gap stall, window (capacity)
-// stall, latency wait, bulk bandwidth, barrier wait, lock wait, and
-// disk/sleep — and proves conservation: the categories sum exactly to the
-// run's makespan on every processor.
+// nanosecond of every processor's timeline into one of ten paper
+// categories — compute, send overhead, receive overhead, gap stall,
+// window (capacity) stall, latency wait, bulk bandwidth, barrier wait,
+// lock wait, and disk/sleep — plus two fault-injection accounts
+// (retransmit and fault-delay, populated only when a fault plan or the
+// reliability layer is active) and proves conservation: the categories
+// sum exactly to the run's makespan on every processor.
 //
 // The accounting combines three event streams:
 //
@@ -70,9 +72,21 @@ const (
 	// sim.Proc.SleepUntil outside any communication wait — the disk model
 	// (NOW-sort) is the suite's only such path.
 	CatSleep
+	// CatRetransmit is reliability-protocol overhead: blocked time during
+	// which the NIC transmit context was occupied by timeout-driven
+	// re-injections of unacked messages.
+	CatRetransmit
+	// CatFaultDelay is fault-injected processor time: one-off delays and
+	// slowdown-window stretches appended to explicit charges by the fault
+	// injector (sim.ClockStretch spans).
+	CatFaultDelay
 
+	// NumPaperCategories counts the original ten accounts; rendered
+	// tables that predate fault injection iterate only these, keeping
+	// their output stable for fault-free runs.
+	NumPaperCategories = int(CatSleep) + 1
 	// NumCategories sizes per-category arrays.
-	NumCategories = int(CatSleep) + 1
+	NumCategories = int(CatFaultDelay) + 1
 )
 
 func (c Category) String() string {
@@ -97,6 +111,10 @@ func (c Category) String() string {
 		return "lock"
 	case CatSleep:
 		return "disk/sleep"
+	case CatRetransmit:
+		return "retransmit"
+	case CatFaultDelay:
+		return "fault-delay"
 	}
 	return fmt.Sprintf("Category(%d)", int(c))
 }
@@ -108,6 +126,12 @@ func Categories() []Category {
 		out[i] = Category(i)
 	}
 	return out
+}
+
+// PaperCategories returns the original ten accounts in display order,
+// excluding the fault-injection extras.
+func PaperCategories() []Category {
+	return Categories()[:NumPaperCategories]
 }
 
 // ProcBreakdown is one processor's complete time attribution.
@@ -211,6 +235,10 @@ func (p *Profile) Text() string {
 // after the previous busyEnd).
 type txSeg struct {
 	inject, gapEnd, busyEnd sim.Time
+	// retrans marks reliability-layer re-injections: blocked time they
+	// explain is protocol overhead (CatRetransmit), not an ordinary gap
+	// or bulk stall.
+	retrans bool
 }
 
 // procState is one processor's accounting state during the run.
@@ -307,6 +335,20 @@ func (ps *procState) idle(a, b sim.Time) {
 				break
 			}
 		}
+		if s.retrans {
+			// A retransmission's whole occupancy is protocol overhead —
+			// the gap/bulk split and the last-injection cut do not apply.
+			e := s.busyEnd
+			if e > b {
+				e = b
+			}
+			ps.charge(CatRetransmit, e-t)
+			t = e
+			if t >= b {
+				break
+			}
+			continue
+		}
 		if t < s.gapEnd {
 			e := s.gapEnd
 			if e > b {
@@ -380,7 +422,13 @@ func New(procs int) *Profiler {
 func (pf *Profiler) ClockAdvanced(proc int, kind sim.ClockKind, from, to sim.Time) {
 	ps := &pf.procs[proc]
 	ps.advanced += to - from
-	if kind == sim.ClockCharge {
+	switch kind {
+	case sim.ClockCharge:
+		return
+	case sim.ClockStretch:
+		// Fault-injected extension of an explicit charge: the base span
+		// was named by its own hook; the stretch is fault delay.
+		ps.charge(CatFaultDelay, to-from)
 		return
 	}
 	ps.idle(from, to)
@@ -413,6 +461,15 @@ func (pf *Profiler) TxReserved(proc int, inject, gapFree, busyFree sim.Time) {
 	ps := &pf.procs[proc]
 	ps.lastInject = inject
 	ps.segs = append(ps.segs, txSeg{inject: inject, gapEnd: gapFree, busyEnd: busyFree})
+}
+
+// TxRetransmit implements am.Hooks: a reliability-layer re-injection
+// occupies the transmit context like any send, but blocked time it
+// explains is charged to the retransmit account.
+func (pf *Profiler) TxRetransmit(proc int, inject, gapFree, busyFree sim.Time) {
+	ps := &pf.procs[proc]
+	ps.lastInject = inject
+	ps.segs = append(ps.segs, txSeg{inject: inject, gapEnd: gapFree, busyEnd: busyFree, retrans: true})
 }
 
 // WaitBegin implements am.Hooks.

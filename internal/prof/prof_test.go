@@ -4,10 +4,13 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/am"
 	"repro/internal/apps"
 	"repro/internal/apps/suite"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/logp"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -88,5 +91,59 @@ func TestProfileObservationOnly(t *testing.T) {
 	if plain.Summary.AvgMsgsPerProc != profiled.Summary.AvgMsgsPerProc {
 		t.Errorf("profiling changed message count: %g vs %g msgs/proc",
 			plain.Summary.AvgMsgsPerProc, profiled.Summary.AvgMsgsPerProc)
+	}
+}
+
+// TestConservationUnderFaults extends the acceptance property to a
+// faulted machine: with a lossy wire under the reliability protocol, a
+// mid-run processor stall, a slowdown window, and a link-delay episode
+// all active, every nanosecond must still land in exactly one account —
+// retransmission occupancy in CatRetransmit, injected processor time in
+// CatFaultDelay — with nothing unattributed.
+func TestConservationUnderFaults(t *testing.T) {
+	for _, name := range []string{"radix", "nowsort"} {
+		t.Run(name, func(t *testing.T) {
+			a, err := suite.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := &fault.Plan{
+				Drops:      []fault.DropRule{{Match: fault.Any(), Prob: 0.01}},
+				ProcDelays: []fault.ProcDelay{{Proc: 3, At: 10 * sim.Millisecond, Extra: sim.FromMicros(500)}},
+				Slowdowns:  []fault.SlowdownWindow{{Proc: 1, From: 0, To: 20 * sim.Millisecond, Factor: 1.3}},
+				LinkDelays: []fault.LinkDelayWindow{{Match: fault.Any(), From: 0, To: 5 * sim.Millisecond, Extra: sim.FromMicros(20)}},
+			}
+			res, err := a.Run(apps.Config{
+				Procs:       8,
+				Scale:       1.0 / 2048,
+				Seed:        1,
+				Params:      logp.NOW(),
+				Profile:     true,
+				TimeLimit:   120 * sim.Second,
+				FaultPlan:   plan,
+				Reliability: am.Reliability{Enabled: true},
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			p := res.Profile
+			if p == nil {
+				t.Fatal("Config.Profile set but Result.Profile is nil")
+			}
+			if err := p.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+			for i := range p.Procs {
+				if u := p.Procs[i].Unattributed; u != 0 {
+					t.Errorf("proc %d: %v unattributed under faults", i, u)
+				}
+			}
+			if res.Stats.WireDrops > 0 && p.Share(prof.CatRetransmit) == 0 {
+				t.Error("wire dropped messages but no time landed in the retransmit account")
+			}
+			if p.Share(prof.CatFaultDelay) == 0 {
+				t.Error("processor faults injected but no time landed in the fault-delay account")
+			}
+		})
 	}
 }

@@ -189,7 +189,8 @@ func (r *Runner) runSweep(st *Store, p *Plan, s Spec) Outcome {
 		out.Err = err
 		return out
 	}
-	out.Point, out.Res, out.Err = core.Measure(a, s.Config(r.params()), s.Knob, s.Value, baseOut.Res.Elapsed)
+	cfg := s.Fault.Wire(s.Config(r.params()), baseOut.Res.Elapsed)
+	out.Point, out.Res, out.Err = core.Measure(a, cfg, s.Knob, s.Value, baseOut.Res.Elapsed)
 	return out
 }
 

@@ -44,6 +44,10 @@ type Spec struct {
 	// attribution is observation-only (identical virtual times), but the
 	// distinction keeps Result reuse explicit.
 	Profile bool
+	// Fault is the run's fault scenario (zero = perfect wire). A faulted
+	// run is never a baseline: its slowdown is measured against the same
+	// spec with the zero scenario.
+	Fault FaultSpec
 }
 
 // Baseline builds the canonical baseline Spec for an application
@@ -53,7 +57,7 @@ func Baseline(app string, procs int, scale float64, seed int64, verify bool) Spe
 }
 
 // IsBaseline reports whether the spec runs the unmodified machine.
-func (s Spec) IsBaseline() bool { return s.Knob == core.KnobNone }
+func (s Spec) IsBaseline() bool { return s.Knob == core.KnobNone && !s.Fault.active() }
 
 // norm canonicalizes the spec so that equal runs compare equal as map
 // keys.
@@ -95,15 +99,18 @@ func (s Spec) Config(params logp.Params) apps.Config {
 
 // String renders the spec for progress lines and errors.
 func (s Spec) String() string {
-	suffix := ""
+	suffix := s.Fault.String()
 	if s.CPUSpeedup != 0 {
-		suffix = fmt.Sprintf(" cpu×%g", s.CPUSpeedup)
+		suffix += fmt.Sprintf(" cpu×%g", s.CPUSpeedup)
 	}
 	if s.Profile {
 		suffix += " +prof"
 	}
 	if s.IsBaseline() {
 		return fmt.Sprintf("%s/p%d baseline%s", s.App, s.Procs, suffix)
+	}
+	if s.Knob == core.KnobNone {
+		return fmt.Sprintf("%s/p%d%s", s.App, s.Procs, suffix)
 	}
 	return fmt.Sprintf("%s/p%d %v=%g%s", s.App, s.Procs, s.Knob, s.Value, suffix)
 }

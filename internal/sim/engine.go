@@ -91,6 +91,21 @@ func (e *Engine) MaxClock() Time {
 	return mx
 }
 
+// Fail aborts the simulation with err; Run (or RunEach) returns it. It
+// may be called from an event or from a processor body — the layer that
+// detects an unrecoverable protocol condition (for example a message
+// exceeding its retransmission cap) uses it to surface a typed error
+// instead of letting the run hang. Fail does not return: it unwinds the
+// calling goroutine through the engine's abort path. If a failure is
+// already recorded, the first one wins.
+func (e *Engine) Fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+	e.abortFromRunning()
+	panic(abortPanic{})
+}
+
 // ScheduleAt registers fn to run at virtual time t. Events run in (t, FIFO)
 // order, in the goroutine of whichever processor reaches them first; they
 // must not block and must not call Park or Checkpoint. Events typically

@@ -17,6 +17,11 @@ const (
 	// ClockWake is the jump a parked processor's clock makes when an
 	// event wakes it at a future time.
 	ClockWake
+	// ClockStretch is fault-injected time appended to an explicit charge
+	// by the stretch hook (see Proc.SetStretch): slowdown windows and
+	// one-off processor delays. Profilers account it separately from the
+	// base charge, which layers above report via their own hooks.
+	ClockStretch
 )
 
 type procState uint8
@@ -53,6 +58,10 @@ type Proc struct {
 
 	// onClock, when set, observes every clock mutation (see SetClockHook).
 	onClock func(kind ClockKind, from, to Time)
+
+	// onStretch, when set, may append fault-injected time to every
+	// explicit charge (see SetStretch).
+	onStretch func(from, d Time) Time
 }
 
 func newProc(e *Engine, id int, seed int64) *Proc {
@@ -87,6 +96,17 @@ func (p *Proc) Rand() *rand.Rand { return p.rng }
 // are skipped) and must not manipulate virtual time. nil detaches.
 func (p *Proc) SetClockHook(fn func(kind ClockKind, from, to Time)) { p.onClock = fn }
 
+// SetStretch attaches fn, consulted after every explicit nonzero Advance
+// with the charge's [from, from+d) span. The returned extra duration (if
+// positive) is appended to the charge and reported to the clock hook as
+// ClockStretch. This is the seam fault injection uses for per-processor
+// slowdown windows and one-off delays: the charging layer still observes
+// its base cost through its own hooks, while the injected extension is
+// attributed separately. fn runs synchronously on the processor's
+// goroutine in deterministic order and must not manipulate virtual time
+// itself. nil detaches.
+func (p *Proc) SetStretch(fn func(from, d Time) Time) { p.onStretch = fn }
+
 // Advance charges d of local computation (or overhead) to the processor.
 // Pure local work never requires a checkpoint: nothing another processor
 // does can affect it, because messages are only observed at poll points.
@@ -98,6 +118,15 @@ func (p *Proc) Advance(d Time) {
 	p.clock += d
 	if p.onClock != nil && d > 0 {
 		p.onClock(ClockCharge, from, p.clock)
+	}
+	if p.onStretch != nil && d > 0 {
+		if extra := p.onStretch(from, d); extra > 0 {
+			sf := p.clock
+			p.clock += extra
+			if p.onClock != nil {
+				p.onClock(ClockStretch, sf, p.clock)
+			}
+		}
 	}
 }
 

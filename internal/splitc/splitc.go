@@ -132,9 +132,8 @@ func logRounds(p int) int {
 // Attach adds instrumentation to the world: each hook set receives every
 // message event and time charge (am.Hooks), raw clock advances when it
 // implements am.ClockHooks, and barrier/lock region events when it
-// implements SyncHooks. Attach replaces the old
-// World.Machine().SetObserver reach-through; call it before Run, and call
-// it once per hook set (repeated calls accumulate).
+// implements SyncHooks. Call it before Run, and call it once per hook
+// set (repeated calls accumulate).
 func (w *World) Attach(hooks ...am.Hooks) {
 	for _, h := range hooks {
 		if h == nil {

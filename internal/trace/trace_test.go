@@ -131,7 +131,7 @@ func TestSampleKeepsLimitAndDropped(t *testing.T) {
 	}
 }
 
-func TestObserverDoesNotPerturbTiming(t *testing.T) {
+func TestHooksDoNotPerturbTiming(t *testing.T) {
 	run := func(h am.Hooks) sim.Time {
 		w, err := splitc.NewWorld(4, logp.NOW(), 1)
 		if err != nil {
@@ -155,6 +155,6 @@ func TestObserverDoesNotPerturbTiming(t *testing.T) {
 	plain := run(nil)
 	traced := run(&Recorder{})
 	if plain != traced {
-		t.Errorf("observer changed virtual timing: %v vs %v", plain, traced)
+		t.Errorf("attached hooks changed virtual timing: %v vs %v", plain, traced)
 	}
 }

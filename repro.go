@@ -14,9 +14,13 @@
 //   - the paper's ten-application benchmark suite, each application
 //     running its real algorithm and verified against a serial reference;
 //   - the calibration microbenchmarks (LogP signatures) and the analytic
-//     sensitivity models of §5; and
+//     sensitivity models of §5;
+//   - a deterministic fault-injection layer (message drops, duplication,
+//     extra wire latency, processor stalls and slowdowns) paired with an
+//     optional AM reliability protocol that recovers from a lossy wire by
+//     NIC-level retransmission; and
 //   - an experiment harness that regenerates every table and figure of
-//     the paper's evaluation.
+//     the paper's evaluation, plus extension experiments beyond it.
 //
 // Quick start:
 //
@@ -50,6 +54,7 @@ import (
 	"repro/internal/apps/suite"
 	"repro/internal/calib"
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/logp"
 	"repro/internal/prof"
 	"repro/internal/run"
@@ -115,7 +120,35 @@ type (
 	Runner = run.Runner
 	// RunProgress reports one completed run to a Runner callback.
 	RunProgress = run.Progress
+	// FaultSpec is the canonical fault scenario of a RunSpec: a one-off
+	// processor delay and/or a lossy wire under the reliability protocol.
+	FaultSpec = run.FaultSpec
+	// FaultPlan is a declarative, seed-deterministic schedule of injected
+	// faults (drops, duplications, wire delays, processor stalls and
+	// slowdowns); set AppConfig.FaultPlan to apply one to a run.
+	FaultPlan = fault.Plan
+	// FaultMatch selects wire transmissions for fault rules; FaultAny()
+	// matches every transmission.
+	FaultMatch = fault.Match
+	// DropRule, DupRule, WireDelayRule, LinkDelayWindow, ProcDelay, and
+	// SlowdownWindow are the FaultPlan rule kinds.
+	DropRule        = fault.DropRule
+	DupRule         = fault.DupRule
+	WireDelayRule   = fault.WireDelayRule
+	LinkDelayWindow = fault.LinkDelayWindow
+	ProcDelay       = fault.ProcDelay
+	SlowdownWindow  = fault.SlowdownWindow
+	// Reliability configures the AM-layer reliability protocol (sequence
+	// numbers, receiver dedup and resequencing, cumulative acks, timeout
+	// retransmission); required whenever the fault plan is lossy.
+	Reliability = am.Reliability
+	// DeliveryError reports a message that exhausted its retransmission
+	// budget; runs fail with it in their error chain (match errors.As).
+	DeliveryError = am.DeliveryError
 )
+
+// FaultAny returns a FaultMatch that matches every wire transmission.
+func FaultAny() FaultMatch { return fault.Any() }
 
 // Machine presets (paper Table 1, §5.1).
 var (
