@@ -107,6 +107,85 @@ func BenchmarkSweepParallel(b *testing.B) {
 
 // --- Simulator microbenchmarks -----------------------------------------
 
+// BenchmarkEngineDispatch measures the scheduler's park/wake dispatch
+// cycle: one processor repeatedly sleeps one tick, which schedules a wake
+// event, parks, and resumes when the event fires. With the same-proc
+// dispatch fast path this cycle never round-trips through a channel.
+func BenchmarkEngineDispatch(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.New(sim.Config{Procs: 1})
+	err := eng.Run(func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Sleep(10)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkShortMessage measures the steady-state cost of simulating one
+// short active message end to end: send overhead, NIC injection, wire
+// flight, receive overhead, handler, and the firmware credit return. The
+// hot path is required to be allocation-free (see TestShortMessageZeroAlloc
+// in internal/am).
+func BenchmarkShortMessage(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.New(sim.Config{Procs: 2})
+	m := am.MustMachine(eng, logp.NOW())
+	seen := 0
+	handler := func(*am.Endpoint, *am.Token, am.Args) { seen++ }
+	err := eng.RunEach([]func(*sim.Proc){
+		func(p *sim.Proc) {
+			ep := m.Endpoint(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ep.Request(1, am.ClassWrite, handler, am.Args{})
+			}
+			ep.WaitUntil(func() bool { return seen == b.N }, "drain")
+			b.StopTimer()
+		},
+		func(p *sim.Proc) {
+			m.Endpoint(1).WaitUntil(func() bool { return seen == b.N }, "sink")
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBulkTransfer measures the cost of simulating bulk data motion:
+// each iteration stores one 64 KB transfer (fragmented by the AM layer)
+// to the neighbor and waits for every fragment to be applied.
+func BenchmarkBulkTransfer(b *testing.B) {
+	const transfer = 64 << 10
+	b.SetBytes(transfer)
+	b.ReportAllocs()
+	eng := sim.New(sim.Config{Procs: 2})
+	m := am.MustMachine(eng, logp.NOW())
+	var got int
+	handler := func(ep *am.Endpoint, tok *am.Token, args am.Args, data []byte) { got += len(data) }
+	data := make([]byte, transfer)
+	err := eng.RunEach([]func(*sim.Proc){
+		func(p *sim.Proc) {
+			ep := m.Endpoint(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ep.StoreLarge(1, am.ClassWrite, handler, am.Args{}, data)
+				ep.WaitUntilFor(am.WaitStore, func() bool { return ep.TotalOutstanding() == 0 }, "store-sync")
+			}
+			b.StopTimer()
+		},
+		func(p *sim.Proc) {
+			m.Endpoint(1).WaitUntil(func() bool { return got == b.N*transfer }, "sink")
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkRoundTrip measures the real cost of simulating one AM round
 // trip (the simulator's fundamental operation).
 func BenchmarkRoundTrip(b *testing.B) {

@@ -97,9 +97,14 @@ const (
 	kindReply
 	kindBulk
 	kindBulkReply
+	// kindCredit is a firmware-level window-credit return riding a pooled
+	// record through the event queue; it never enters an inbox and no
+	// host overhead is charged for it.
+	kindCredit
 )
 
 type message struct {
+	m       *Machine // owning machine, for pool recycling and event dispatch
 	kind    msgKind
 	src     int
 	dst     int
@@ -135,6 +140,11 @@ type Machine struct {
 	// wire assumed, no sequencing (see SetReliability).
 	rel *relConfig
 
+	// msgPool is the freelist of recycled message records and pooling
+	// the gate on recycling data messages at delivery (see pool.go).
+	msgPool []*message
+	pooling bool
+
 	// cpuFactor scales local computation speed: 2.0 halves every Compute
 	// charge (a processor twice as fast), leaving communication costs
 	// untouched — the §5.5 processor-vs-network tradeoff knob.
@@ -146,7 +156,7 @@ func NewMachine(eng *sim.Engine, params logp.Params) (*Machine, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{eng: eng, params: params, stats: newStats(eng.P()), cpuFactor: 1}
+	m := &Machine{eng: eng, params: params, stats: newStats(eng.P()), cpuFactor: 1, pooling: true}
 	m.eps = make([]*Endpoint, eng.P())
 	for i := range m.eps {
 		m.eps[i] = &Endpoint{
@@ -154,6 +164,7 @@ func NewMachine(eng *sim.Engine, params logp.Params) (*Machine, error) {
 			proc:        eng.Proc(i),
 			outstanding: make([]int, eng.P()),
 		}
+		m.eps[i].pw.ep = m.eps[i]
 	}
 	return m, nil
 }
@@ -233,9 +244,47 @@ type Endpoint struct {
 	outstanding []int
 	// inHandler guards against illegal nested polling from handlers.
 	inHandler bool
+	// tok is the scratch Token handed to handlers, reused across
+	// deliveries: handlers Reply during the invocation and never retain
+	// the token past it (the GAM contract), and handlers cannot nest
+	// (inHandler forbids polling), so one per endpoint suffices.
+	tok Token
+	// pw is the endpoint's reusable pollable-wait record (see epWait):
+	// waits cannot nest (one body, and handlers may not wait), so one per
+	// endpoint suffices and parking allocates nothing.
+	pw epWait
 	// rel is this endpoint's reliability-protocol state; nil when the
 	// layer is off (see Machine.SetReliability).
 	rel *relEndpoint
+}
+
+// epWait adapts an endpoint's spin-poll wait loop to sim.PollableWait, so
+// the engine can drive wait iterations inline instead of resuming the
+// waiter's goroutine (see Proc.ParkPollable). With cond set it is a
+// WaitUntilFor wait; with cond nil it is a window stall on dst, ready when
+// a request credit toward dst is free — kept closure-free because window
+// stalls are part of the steady-state send path.
+type epWait struct {
+	ep   *Endpoint
+	cond func() bool
+	dst  int
+	win  int
+}
+
+func (w *epWait) Ready(_ *sim.Proc) bool {
+	if w.cond != nil {
+		return w.cond()
+	}
+	return w.ep.outstanding[w.dst] < w.win
+}
+
+func (w *epWait) PollOne(_ *sim.Proc) bool { return w.ep.pollOne() }
+
+func (w *epWait) NextWork(_ *sim.Proc) (sim.Time, bool) {
+	if next := w.ep.peekInbox(); next != nil {
+		return next.arrival, true
+	}
+	return 0, false
 }
 
 // Proc returns the simulated processor that owns this endpoint.
@@ -291,7 +340,8 @@ func (ep *Endpoint) Request(dst int, class Class, h Handler, args Args) {
 	ep.waitWindow(dst)
 	ep.chargeSend()
 	ep.outstanding[dst]++
-	msg := &message{kind: kindRequest, src: ep.ID(), dst: dst, class: class, handler: h, args: args}
+	msg := ep.m.getMsg()
+	msg.kind, msg.src, msg.dst, msg.class, msg.handler, msg.args = kindRequest, ep.ID(), dst, class, h, args
 	ep.m.stats.countSendAt(ep.ID(), dst, class, false, 0, ep.proc.Clock())
 	ep.launch(msg)
 }
@@ -311,7 +361,8 @@ func (ep *Endpoint) Reply(tok *Token, h Handler, args Args) {
 	}
 	tok.replied = true
 	ep.chargeSend()
-	msg := &message{kind: kindReply, src: ep.ID(), dst: tok.Src, class: tok.Class, handler: h, args: args}
+	msg := ep.m.getMsg()
+	msg.kind, msg.src, msg.dst, msg.class, msg.handler, msg.args = kindReply, ep.ID(), tok.Src, tok.Class, h, args
 	ep.m.stats.countSendAt(ep.ID(), tok.Src, tok.Class, false, 0, ep.proc.Clock())
 	ep.launch(msg)
 }
@@ -335,9 +386,12 @@ func (ep *Endpoint) Store(dst int, class Class, h BulkHandler, args Args, data [
 	ep.waitWindow(dst)
 	ep.chargeSend()
 	ep.outstanding[dst]++
+	// The payload is copied into a fresh buffer because ownership of the
+	// bytes transfers to the receiving handler; only the record is pooled.
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	msg := &message{kind: kindBulk, src: ep.ID(), dst: dst, class: class, bulkH: h, args: args, data: buf}
+	msg := ep.m.getMsg()
+	msg.kind, msg.src, msg.dst, msg.class, msg.bulkH, msg.args, msg.data = kindBulk, ep.ID(), dst, class, h, args, buf
 	ep.m.stats.countSendAt(ep.ID(), dst, class, true, len(data), ep.proc.Clock())
 	ep.launch(msg)
 }
@@ -363,7 +417,8 @@ func (ep *Endpoint) ReplyBulk(tok *Token, h BulkHandler, args Args, data []byte)
 	tok.replied = true
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	msg := &message{kind: kindBulkReply, src: ep.ID(), dst: tok.Src, class: tok.Class, bulkH: h, args: args, data: buf}
+	msg := ep.m.getMsg()
+	msg.kind, msg.src, msg.dst, msg.class, msg.bulkH, msg.args, msg.data = kindBulkReply, ep.ID(), tok.Src, tok.Class, h, args, buf
 	ep.chargeSend()
 	ep.m.stats.countSendAt(ep.ID(), tok.Src, tok.Class, true, len(data), ep.proc.Clock())
 	ep.launch(msg)
@@ -386,12 +441,41 @@ func (ep *Endpoint) StoreLarge(dst int, class Class, h BulkHandler, args Args, d
 }
 
 // waitWindow stalls, spin-polling, until a request credit to dst is free.
+// The spin loop is WaitUntilFor's, open-coded: window stalls are part of
+// the steady-state send path, and a capturing condition closure would be
+// a heap allocation per stall.
 func (ep *Endpoint) waitWindow(dst int) {
 	w := ep.params().Window
 	if ep.outstanding[dst] < w {
 		return
 	}
-	ep.WaitUntilFor(WaitWindow, func() bool { return ep.outstanding[dst] < w }, "am: window stall")
+	h := ep.m.hooks
+	if h != nil {
+		h.WaitBegin(ep.ID(), WaitWindow, ep.proc.Clock())
+	}
+	for {
+		ep.proc.Checkpoint()
+		if ep.outstanding[dst] < w {
+			break
+		}
+		if ep.pollOne() {
+			continue
+		}
+		if next := ep.peekInbox(); next != nil {
+			ep.proc.AdvanceTo(next.arrival)
+			continue
+		}
+		ep.pw.cond, ep.pw.dst, ep.pw.win = nil, dst, w
+		if ep.proc.ParkPollable(&ep.pw, "am: window stall") {
+			// The engine drove the wait to completion inline: a credit
+			// toward dst is free, established at the instant the CPU was
+			// handed back. Leave without re-testing.
+			break
+		}
+	}
+	if h != nil {
+		h.WaitEnd(ep.ID(), WaitWindow, ep.proc.Clock())
+	}
 }
 
 // chargeSend charges the host-side send overhead (o_send plus the
@@ -504,26 +588,17 @@ func (m *Machine) scheduleArrival(msg *message, at sim.Time) {
 		m.eng.ScheduleAt(at, func() { dst.rel.arrive(dst, msg, at) })
 		return
 	}
-	msg.arrival = at
-	m.eng.ScheduleAt(at, func() {
-		if msg.kind == kindReply || msg.kind == kindBulkReply {
-			dst.outstanding[msg.src]--
-		}
-		dst.pushInbox(msg)
-		dst.proc.WakeAt(at)
-	})
+	m.eng.ScheduleCall(at, deliverEvent, msg)
 }
 
 // returnCredit schedules the firmware-level ack that frees one window slot
 // at the requester. It costs the hosts nothing (the LANai handles it) and,
-// like replies, bypasses the transmit gap (acks piggyback).
+// like replies, bypasses the transmit gap (acks piggyback). The credit
+// rides a pooled record through the zero-alloc event path.
 func (m *Machine) returnCredit(requester, responder int, at sim.Time) {
-	src := m.eps[requester]
-	arrive := at + m.params.EffLatency()
-	m.eng.ScheduleAt(arrive, func() {
-		src.outstanding[responder]--
-		src.proc.WakeAt(arrive)
-	})
+	msg := m.getMsg()
+	msg.kind, msg.src, msg.dst = kindCredit, requester, responder
+	m.eng.ScheduleCall(at+m.params.EffLatency(), creditEvent, msg)
 }
 
 // pushInbox appends an arrived message, compacting consumed space first
@@ -578,7 +653,10 @@ func (ep *Endpoint) Poll() {
 	}
 }
 
-// process consumes one arrived message on the host.
+// process consumes one arrived message on the host. It is the record's
+// final stage: once the handler and the instrumentation have run, the
+// record is recycled — unless the reliability layer or a lossy fault
+// injector may still hold references to it (see pool.go).
 func (ep *Endpoint) process(msg *message) {
 	from := ep.proc.Clock()
 	o := ep.params().EffORecv()
@@ -586,7 +664,8 @@ func (ep *Endpoint) process(msg *message) {
 	if h := ep.m.hooks; h != nil {
 		h.RecvOverhead(ep.ID(), from, from+o)
 	}
-	tok := &Token{Src: msg.src, Class: msg.class, IsReply: msg.kind == kindReply, dst: msg.dst}
+	tok := &ep.tok
+	*tok = Token{Src: msg.src, Class: msg.class, IsReply: msg.kind == kindReply, dst: msg.dst}
 	ep.inHandler = true
 	switch msg.kind {
 	case kindRequest:
@@ -614,6 +693,9 @@ func (ep *Endpoint) process(msg *message) {
 	if h := ep.m.hooks; h != nil {
 		bulk := msg.kind == kindBulk || msg.kind == kindBulkReply
 		h.MessageHandled(msg.src, msg.dst, msg.class, bulk, ep.proc.Clock())
+	}
+	if ep.m.pooling {
+		ep.m.putMsg(msg)
 	}
 }
 
@@ -674,7 +756,15 @@ func (ep *Endpoint) WaitUntilFor(kind WaitKind, cond func() bool, reason string)
 			ep.proc.AdvanceTo(next.arrival)
 			continue
 		}
-		ep.proc.Park(reason)
+		ep.pw.cond = cond
+		done := ep.proc.ParkPollable(&ep.pw, reason)
+		ep.pw.cond = nil
+		if done {
+			// The engine drove the wait to completion inline: cond held
+			// at the instant the CPU was handed back, with all events due
+			// by then already executed. Leave without re-testing.
+			break
+		}
 	}
 	if h != nil {
 		h.WaitEnd(ep.ID(), kind, ep.proc.Clock())

@@ -56,6 +56,9 @@ type FaultInjector interface {
 // to ChargeExtra. Attach before the run starts.
 func (m *Machine) SetFaults(inj FaultInjector) {
 	m.faults = inj
+	// A lossy injector can schedule duplicate arrivals of one message
+	// record, so delivery-time recycling must be off (see pool.go).
+	m.updatePooling()
 	for i, ep := range m.eps {
 		if inj == nil {
 			ep.proc.SetStretch(nil)

@@ -105,6 +105,7 @@ func (m *Machine) SetReliability(cfg Reliability) {
 		for _, ep := range m.eps {
 			ep.rel = nil
 		}
+		m.updatePooling()
 		return
 	}
 	rc := &relConfig{rto: cfg.RTO, backoff: cfg.Backoff, maxRetries: cfg.MaxRetries}
@@ -119,6 +120,9 @@ func (m *Machine) SetReliability(cfg Reliability) {
 		rc.maxRetries = 12
 	}
 	m.rel = rc
+	// Retransmission and resequencing keep references to message records
+	// past delivery, so delivery-time recycling must be off (see pool.go).
+	m.updatePooling()
 	for _, ep := range m.eps {
 		r := &relEndpoint{cfg: rc, tx: make([]relStream, m.P()), rx: make([]relRecv, m.P())}
 		for i := range r.rx {

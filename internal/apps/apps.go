@@ -91,6 +91,20 @@ type Result struct {
 	// Profile is the stall attribution of the run (nil unless
 	// Config.Profile was set).
 	Profile *prof.Profile
+	// Sched reports the engine's scheduler counters for the run — the
+	// axis the reprobench harness tracks across engine changes.
+	Sched SchedCounters
+}
+
+// SchedCounters is the engine's scheduling cost profile for one run.
+type SchedCounters struct {
+	// Switches is the number of goroutine hand-offs performed.
+	Switches int64
+	// SwitchesSaved is the number of hand-offs the engine avoided
+	// (fast-path parks and inline-driven wait iterations).
+	SwitchesSaved int64
+	// EventsRun is the number of discrete events executed.
+	EventsRun int64
 }
 
 // App is one member of the benchmark suite.
@@ -154,6 +168,11 @@ func Finish(app App, cfg Config, w *splitc.World, verified bool) Result {
 		Stats:    w.Stats(),
 		Verified: verified,
 		Extra:    map[string]float64{},
+		Sched: SchedCounters{
+			Switches:      w.Engine().Switches(),
+			SwitchesSaved: w.Engine().SwitchesSaved(),
+			EventsRun:     w.Engine().EventsRun(),
+		},
 	}
 	if pf := prof.Attached(w); pf != nil {
 		res.Profile = pf.Snapshot(w)

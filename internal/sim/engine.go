@@ -34,11 +34,19 @@ type Engine struct {
 	doneCh     chan struct{}
 	doneClosed bool
 	wg         sync.WaitGroup
+	// failMu serializes the teardown path. Steady-state execution is
+	// single-token and needs no locking, but once an abort begins, every
+	// parked goroutine is woken and unwinds concurrently — and a body can
+	// defer a panic of its own into that unwind, re-entering failure
+	// recording and teardown from several goroutines at once.
+	failMu sync.Mutex
 
 	// Counters exposed for scheduler diagnostics and ablation benchmarks.
-	switches   int64 // goroutine hand-offs performed
-	eventsRun  int64 // events executed
-	fastChecks int64 // checkpoints that kept running without a switch
+	switches    int64 // goroutine hand-offs performed
+	eventsRun   int64 // events executed
+	fastChecks  int64 // checkpoints that kept running without a switch
+	fastParks   int64 // parks whose dispatch picked the parker itself
+	inlineSteps int64 // pollable-wait iterations the dispatcher ran inline
 }
 
 // abortSentinel unwinds parked processor goroutines when the engine aborts.
@@ -80,6 +88,14 @@ func (e *Engine) EventsRun() int64 { return e.eventsRun }
 // FastCheckpoints reports checkpoints resolved without a goroutine switch.
 func (e *Engine) FastCheckpoints() int64 { return e.fastChecks }
 
+// SwitchesSaved reports scheduler decisions resolved without a goroutine
+// hand-off that the pre-fast-path scheduler would have paid one for: parks
+// whose dispatch picked the parker itself (an event executed during the
+// dispatch woke it, and it was the next runnable), plus every pollable-wait
+// iteration the dispatcher drove inline instead of resuming the waiter's
+// goroutine (see Proc.ParkPollable).
+func (e *Engine) SwitchesSaved() int64 { return e.fastParks + e.inlineSteps }
+
 // MaxClock returns the largest processor clock, i.e. the parallel makespan.
 func (e *Engine) MaxClock() Time {
 	var mx Time
@@ -99,20 +115,52 @@ func (e *Engine) MaxClock() Time {
 // calling goroutine through the engine's abort path. If a failure is
 // already recorded, the first one wins.
 func (e *Engine) Fail(err error) {
-	if e.failure == nil {
-		e.failure = err
-	}
+	e.recordFailure(err)
 	e.abortFromRunning()
 	panic(abortPanic{})
 }
+
+// recordFailure stores err as the simulation's failure unless one is
+// already recorded: the first failure wins, later ones (secondary panics
+// raised while goroutines unwind) must not mask the root cause.
+func (e *Engine) recordFailure(err error) {
+	e.failMu.Lock()
+	if e.failure == nil {
+		e.failure = err
+	}
+	e.failMu.Unlock()
+}
+
+// EventFn is the typed form of a scheduled event: fn(arg, at) runs at
+// virtual time `at` with the arg it was scheduled with. Top-level
+// functions passed to ScheduleCall with a pointer-shaped arg make the
+// schedule path allocation-free, where a capturing closure would heap-
+// allocate per event.
+type EventFn func(arg any, at Time)
 
 // ScheduleAt registers fn to run at virtual time t. Events run in (t, FIFO)
 // order, in the goroutine of whichever processor reaches them first; they
 // must not block and must not call Park or Checkpoint. Events typically
 // deposit a message and call Proc.WakeAt.
+//
+// The closure fn is one heap allocation at the call site; hot paths use
+// ScheduleCall instead.
 func (e *Engine) ScheduleAt(t Time, fn func()) {
+	e.ScheduleCall(t, runThunk, fn)
+}
+
+// runThunk adapts a ScheduleAt closure to the typed event scheme.
+func runThunk(arg any, _ Time) { arg.(func())() }
+
+// ScheduleCall registers fn(arg, t) to run at virtual time t, under the
+// same (t, FIFO) ordering and the same restrictions as ScheduleAt.
+// Event records live by value in the engine's heap, so once the heap has
+// grown to the workload's high-water mark the call allocates nothing:
+// this is the hot path the Active Message layer schedules deliveries and
+// credit returns through.
+func (e *Engine) ScheduleCall(t Time, fn EventFn, arg any) {
 	e.eventSeq++
-	e.events.push(event{at: t, seq: e.eventSeq, fn: fn})
+	e.events.push(event{at: t, seq: e.eventSeq, fn: fn, arg: arg})
 }
 
 // Run executes body once per processor (SPMD style) and returns when every
@@ -161,12 +209,15 @@ func (e *Engine) procMain(p *Proc, body func(*Proc)) {
 		if _, ok := r.(abortPanic); ok {
 			return
 		}
+		// Like Fail, the first recorded failure wins: a second processor
+		// unwinding with its own panic (or a body deferring a panic into
+		// the abort path) must not mask the root cause.
 		if _, ok := r.(timeLimitPanic); ok {
-			e.failure = fmt.Errorf("sim: proc %d at %v: %w", p.id, p.clock, ErrTimeLimit)
+			e.recordFailure(fmt.Errorf("sim: proc %d at %v: %w", p.id, p.clock, ErrTimeLimit))
 			e.abortFromRunning()
 			return
 		}
-		e.failure = fmt.Errorf("sim: proc %d panicked at %v: %v\n%s", p.id, p.clock, r, debug.Stack())
+		e.recordFailure(fmt.Errorf("sim: proc %d panicked at %v: %v\n%s", p.id, p.clock, r, debug.Stack()))
 		e.abortFromRunning()
 	}()
 	//lint:allow goroutinefree each coroutine parks at birth until the scheduler hands it the CPU
@@ -183,20 +234,7 @@ func (e *Engine) procMain(p *Proc, body func(*Proc)) {
 func (e *Engine) finish(p *Proc) {
 	p.state = stateDone
 	e.liveCount--
-	next := e.next()
-	if next != nil {
-		e.switches++
-		next.state = stateRunning
-		//lint:allow goroutinefree deterministic coroutine handoff: the retiring body picks the unique next runnable
-		next.resume <- struct{}{}
-		return
-	}
-	if e.liveCount == 0 {
-		e.signalDone()
-		return
-	}
-	e.failure = e.deadlockError()
-	e.abortFromRunning()
+	e.dispatch(p)
 }
 
 // next pops the runnable processor with the smallest clock, executing any
@@ -208,7 +246,7 @@ func (e *Engine) next() *Proc {
 		for e.events.len() > 0 && (q == nil || e.events.peek().at <= q.clock) {
 			ev := e.events.pop()
 			e.eventsRun++
-			ev.fn()
+			ev.fn(ev.arg, ev.at)
 			q = e.ready.peek()
 		}
 		if q != nil {
@@ -232,19 +270,32 @@ func (e *Engine) deadlockError() error {
 
 // abortFromRunning tears down the simulation from the currently running
 // goroutine: every parked goroutine is resumed and unwinds via abortPanic.
+// Reentrant: a goroutine whose unwind raises a secondary failure calls
+// this again, concurrently with the teardown already in flight — the
+// second call finds aborted set and only confirms the done signal.
 func (e *Engine) abortFromRunning() {
-	e.aborted = true
-	for _, p := range e.procs {
-		if p.state == stateReady || p.state == stateBlocked || p.state == statePending {
-			p.state = stateDone
-			//lint:allow goroutinefree abort path: wake every parked coroutine so it unwinds via abortPanic
-			p.resume <- struct{}{}
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	if !e.aborted {
+		e.aborted = true
+		for _, p := range e.procs {
+			if p.state == stateReady || p.state == stateBlocked || p.state == statePending {
+				p.state = stateDone
+				//lint:allow goroutinefree abort path: wake every parked coroutine so it unwinds via abortPanic
+				p.resume <- struct{}{}
+			}
 		}
 	}
-	e.signalDone()
+	e.signalDoneLocked()
 }
 
 func (e *Engine) signalDone() {
+	e.failMu.Lock()
+	e.signalDoneLocked()
+	e.failMu.Unlock()
+}
+
+func (e *Engine) signalDoneLocked() {
 	if !e.doneClosed {
 		e.doneClosed = true
 		//lint:allow goroutinefree completion signal to the single Run caller; closed exactly once
@@ -268,26 +319,146 @@ func (e *Engine) switchTo(from, to *Proc) {
 	}
 }
 
-// parkAndDispatch blocks `from` (removing it from the runnable set) and
-// dispatches the next entity. Returns when someone wakes `from`.
-func (e *Engine) parkAndDispatch(from *Proc) {
-	next := e.next()
-	if next == nil {
-		if e.liveCount == 0 {
-			// Unreachable: `from` itself is still live.
-			panic("sim: parked with no live processors")
+// dispatch is the central scheduler loop, entered whenever the processor
+// running on the current goroutine gives up the CPU: `from` has either
+// blocked (Park, ParkPollable) or retired (finish). It keeps choosing the
+// next runnable entity, driving pollable waits inline (stepWait) without
+// resuming their goroutines, until either `from` itself becomes the next
+// runnable again (fast path: keep executing on this goroutine, no channel
+// round-trip — the schedule is identical, next() already made the choice)
+// or a processor with a real continuation must run, in which case the CPU
+// is handed off and `from` parks until someone hands it back.
+func (e *Engine) dispatch(from *Proc) {
+	for {
+		next := e.next()
+		if next == nil {
+			if from.state == stateDone {
+				if e.liveCount == 0 {
+					e.signalDone()
+					return
+				}
+				e.recordFailure(e.deadlockError())
+				e.abortFromRunning()
+				return
+			}
+			if e.liveCount == 0 {
+				// Unreachable: `from` itself is still live.
+				panic("sim: parked with no live processors")
+			}
+			e.recordFailure(e.deadlockError())
+			e.abortFromRunning()
+			panic(abortPanic{})
 		}
-		e.failure = e.deadlockError()
+		if next.wait != nil {
+			// The chosen processor is parked in a pollable wait: run one
+			// wait iteration right here instead of bouncing the CPU to its
+			// goroutine and back. stepWait leaves it runnable again or
+			// re-blocked, and the loop re-decides.
+			e.stepWait(next)
+			continue
+		}
+		if next == from {
+			e.fastParks++
+			from.state = stateRunning
+			return
+		}
+		e.switches++
+		next.state = stateRunning
+		// Read before the handoff: once next holds the token it may WakeAt
+		// `from` concurrently with this goroutine. The value is fixed at
+		// dispatch entry anyway (done means finish() called us).
+		done := from.state == stateDone
+		//lint:allow goroutinefree deterministic coroutine handoff: dispatch the unique next runnable
+		next.resume <- struct{}{}
+		if done {
+			return
+		}
+		//lint:allow goroutinefree park until WakeAt makes this processor runnable again
+		<-from.resume
+		if e.aborted {
+			panic(abortPanic{})
+		}
+		return
+	}
+}
+
+// stepWait executes one iteration of a pollable wait on behalf of the
+// blocked processor p, which the dispatcher just popped as the minimum-
+// clock runnable. The iteration mirrors the waiter's own loop exactly —
+// time-limit check, condition, poll one due message, spin toward a known
+// arrival, park again — at the same virtual instants and in the same
+// global order its goroutine would have run them; only the goroutine
+// hand-off is elided. Events due at or before p's clock have already run
+// (next() executes them before popping), matching the Checkpoint at the
+// top of the waiter's loop. Branches that advance p's clock finish with
+// drainEvents, reproducing the drain the next loop-top Checkpoint would
+// have performed at the advanced clock before any switch decision: a
+// Checkpoint-driven run executes every due event — including ones, such
+// as window-credit returns, whose timestamps lie beyond other processors'
+// clocks — before the scheduler picks the minimum again, and waiters'
+// conditions legitimately observe those effects.
+func (e *Engine) stepWait(p *Proc) {
+	if e.timeLimit > 0 && p.clock > e.timeLimit {
+		// Same failure the waiter's own Checkpoint would have raised,
+		// attributed to the waiter, not to the goroutine driving it.
+		e.recordFailure(fmt.Errorf("sim: proc %d at %v: %w", p.id, p.clock, ErrTimeLimit))
 		e.abortFromRunning()
 		panic(abortPanic{})
 	}
-	e.switches++
-	next.state = stateRunning
-	//lint:allow goroutinefree deterministic coroutine handoff: dispatch the unique next runnable
-	next.resume <- struct{}{}
-	//lint:allow goroutinefree park until WakeAt makes this processor runnable again
-	<-from.resume
-	if e.aborted {
-		panic(abortPanic{})
+	e.inlineSteps++
+	// p stays stateBlocked for the duration of the step: its goroutine
+	// really is parked, so if the step panics (for example a handler
+	// violating discipline), abortFromRunning still wakes and unwinds it.
+	// No WakeAt can target p mid-step — wakes come only from events, and
+	// events never run inside a step — so the blocked state is never
+	// observed by a waker.
+	p.state = stateBlocked
+	w := p.wait
+	if w.Ready(p) {
+		// Condition holds: leave the wait. p stays runnable; the dispatch
+		// loop re-pops it and resumes its body (fast path when p is the
+		// dispatcher's own processor).
+		p.wait = nil
+		p.state = stateReady
+		e.ready.push(p)
+		return
+	}
+	if w.PollOne(p) {
+		p.state = stateReady
+		e.ready.push(p)
+		e.drainEvents(p.clock)
+		return
+	}
+	if t, ok := w.NextWork(p); ok {
+		p.AdvanceTo(t)
+		p.state = stateReady
+		e.ready.push(p)
+		e.drainEvents(p.clock)
+		return
+	}
+	// Park again — the same pending-wake consumption Park performs.
+	if len(p.pendingWakes) > 0 {
+		t := p.pendingWakes[0]
+		copy(p.pendingWakes, p.pendingWakes[1:])
+		p.pendingWakes = p.pendingWakes[:len(p.pendingWakes)-1]
+		p.AdvanceTo(t)
+		p.state = stateReady
+		e.ready.push(p)
+		e.drainEvents(p.clock)
+		return
+	}
+	p.state = stateBlocked
+}
+
+// drainEvents runs every event due at or before limit — the event loop of
+// a Checkpoint at that clock. Waking events see their target processors in
+// the same states a waiter's own Checkpoint would have shown them (the
+// stepped processor sits ready in the heap, so wakes for it accumulate as
+// pending, exactly as for a running processor).
+func (e *Engine) drainEvents(limit Time) {
+	for e.events.len() > 0 && e.events.peek().at <= limit {
+		ev := e.events.pop()
+		e.eventsRun++
+		ev.fn(ev.arg, ev.at)
 	}
 }

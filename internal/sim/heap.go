@@ -1,12 +1,22 @@
 package sim
 
-// eventHeap is a binary min-heap of pending events ordered by (at, seq).
-// The sequence number gives FIFO ordering among events scheduled for the
-// same instant, which keeps runs deterministic.
+// The scheduler's two priority queues are 4-ary min-heaps. Both orders
+// are strict total orders — (at, seq) for events, (clock, id) for
+// processors — so the pop sequence is independent of heap shape and a
+// wider fan-out is purely a constant-factor optimization: half the sift
+// depth of a binary heap, and the four children of a node share a cache
+// line. Determinism is unaffected by construction.
+
+// event is one pending scheduler event. Events are stored by value in
+// the heap's slice, so scheduling allocates nothing once the slice has
+// grown to the workload's high-water mark; the closure-free EventFn+arg
+// representation (see Engine.ScheduleCall) keeps the caller side
+// allocation-free too.
 type event struct {
 	at  Time
 	seq int64
-	fn  func()
+	fn  EventFn
+	arg any
 }
 
 type eventHeap struct {
@@ -26,7 +36,7 @@ func (h *eventHeap) push(e event) {
 	h.ev = append(h.ev, e)
 	i := len(h.ev) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !h.less(i, parent) {
 			break
 		}
@@ -46,6 +56,7 @@ func (h *eventHeap) pop() event {
 	top := h.ev[0]
 	last := len(h.ev) - 1
 	h.ev[0] = h.ev[last]
+	h.ev[last] = event{} // release the fn/arg references
 	h.ev = h.ev[:last]
 	h.siftDown(0)
 	return top
@@ -54,13 +65,19 @@ func (h *eventHeap) pop() event {
 func (h *eventHeap) siftDown(i int) {
 	n := len(h.ev)
 	for {
-		left, right := 2*i+1, 2*i+2
-		small := i
-		if left < n && h.less(left, small) {
-			small = left
+		first := 4*i + 1
+		if first >= n {
+			return
 		}
-		if right < n && h.less(right, small) {
-			small = right
+		small := i
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first; c < end; c++ {
+			if h.less(c, small) {
+				small = c
+			}
 		}
 		if small == i {
 			return
@@ -70,7 +87,7 @@ func (h *eventHeap) siftDown(i int) {
 	}
 }
 
-// procHeap is a binary min-heap of ready processors ordered by
+// procHeap is a 4-ary min-heap of ready processors ordered by
 // (clock, id). Processor identity breaks ties so the schedule is stable.
 // Each Proc caches its heap index for O(log n) removal and re-keying.
 type procHeap struct {
@@ -128,7 +145,7 @@ func (h *procHeap) remove(i int) {
 
 func (h *procHeap) siftUp(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !h.less(i, parent) {
 			return
 		}
@@ -140,13 +157,19 @@ func (h *procHeap) siftUp(i int) {
 func (h *procHeap) siftDown(i int) {
 	n := len(h.ps)
 	for {
-		left, right := 2*i+1, 2*i+2
-		small := i
-		if left < n && h.less(left, small) {
-			small = left
+		first := 4*i + 1
+		if first >= n {
+			return
 		}
-		if right < n && h.less(right, small) {
-			small = right
+		small := i
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first; c < end; c++ {
+			if h.less(c, small) {
+				small = c
+			}
 		}
 		if small == i {
 			return

@@ -56,6 +56,11 @@ type Proc struct {
 	// ascending; typically empty or a single element.
 	pendingWakes []Time
 
+	// wait, when non-nil, marks the processor as parked in a pollable
+	// wait (see ParkPollable): the dispatcher may drive its wait-loop
+	// iterations inline instead of resuming this goroutine.
+	wait PollableWait
+
 	// onClock, when set, observes every clock mutation (see SetClockHook).
 	onClock func(kind ClockKind, from, to Time)
 
@@ -156,7 +161,7 @@ func (p *Proc) Checkpoint() {
 		for e.events.len() > 0 && e.events.peek().at <= p.clock {
 			ev := e.events.pop()
 			e.eventsRun++
-			ev.fn()
+			ev.fn(ev.arg, ev.at)
 		}
 		q := e.ready.peek()
 		if q == nil || q.clock > p.clock || (q.clock == p.clock && q.id > p.id) {
@@ -166,6 +171,26 @@ func (p *Proc) Checkpoint() {
 			return
 		}
 		e.ready.pop()
+		if q.wait != nil {
+			// q is parked in a pollable wait: drive one iteration of it
+			// from here instead of switching goroutines. q was the heap
+			// minimum and p is running with a clock at or past q's, so q
+			// sees exactly the state its own checkpoint would have.
+			e.stepWait(q)
+			// A real hand-off would have suspended p here until it was
+			// the minimum again, with interim events draining at the
+			// clocks of the processors that actually run — not at p's
+			// (p's clock may lie far ahead and would fire future events
+			// early). Rejoin the heap and let the dispatcher decide;
+			// control returns when p is picked, and the loop then
+			// re-drains at p's clock exactly as a resumed Checkpoint
+			// would.
+			switched = true
+			p.state = stateReady
+			e.ready.push(p)
+			e.dispatch(p)
+			continue
+		}
 		switched = true
 		e.switchTo(p, q)
 	}
@@ -182,16 +207,66 @@ func (p *Proc) Checkpoint() {
 func (p *Proc) Park(reason string) {
 	if len(p.pendingWakes) > 0 {
 		// A wakeup already arrived while we were running or ready; consume
-		// the earliest one instead of blocking.
+		// the earliest one instead of blocking. Shift in place rather than
+		// re-slicing so the backing array's capacity is never abandoned
+		// (re-slicing from the front would shrink the capacity one element
+		// per wake and force a steady trickle of re-allocations).
 		t := p.pendingWakes[0]
-		p.pendingWakes = p.pendingWakes[1:]
+		copy(p.pendingWakes, p.pendingWakes[1:])
+		p.pendingWakes = p.pendingWakes[:len(p.pendingWakes)-1]
 		p.AdvanceTo(t)
 		p.Checkpoint()
 		return
 	}
 	p.state = stateBlocked
 	p.blockReason = reason
-	p.eng.parkAndDispatch(p)
+	p.eng.dispatch(p)
+}
+
+// PollableWait is a wait loop the engine can drive on the waiter's behalf.
+// A processor spin-polling for a condition iterates a fixed shape — run a
+// checkpoint, test the condition, service one due unit of work, spin
+// forward to known future work, or park — and every step is expressible
+// against engine and endpoint state rather than the body's stack. A waiter
+// that parks through ParkPollable therefore never needs its goroutine
+// resumed just to discover there is nothing to do: whichever goroutine is
+// dispatching runs the iterations inline, at the same virtual instants and
+// in the same global order, and hands the CPU over only when Ready reports
+// the condition holds. The methods must not call Park, Checkpoint, or
+// anything else that yields.
+type PollableWait interface {
+	// Ready reports whether the awaited condition holds; the wait ends.
+	Ready(p *Proc) bool
+	// PollOne services at most one unit of work due at or before p's
+	// clock (for example one arrived message, charging its receive
+	// overhead), reporting whether it did.
+	PollOne(p *Proc) bool
+	// NextWork returns the earliest known future instant at which work
+	// for this waiter arrives (for example the head in-flight message),
+	// or ok=false when none is known and the processor must block.
+	NextWork(p *Proc) (t Time, ok bool)
+}
+
+// ParkPollable parks the processor like Park, but registers w so the
+// engine can drive the wait inline (see PollableWait). It returns true
+// when the engine established Ready and handed the CPU back — the caller
+// leaves its wait loop without re-testing — and false when a pending
+// wakeup was consumed instead of blocking, in which case the caller loops
+// and re-tests exactly as it would after Park.
+func (p *Proc) ParkPollable(w PollableWait, reason string) bool {
+	if len(p.pendingWakes) > 0 {
+		t := p.pendingWakes[0]
+		copy(p.pendingWakes, p.pendingWakes[1:])
+		p.pendingWakes = p.pendingWakes[:len(p.pendingWakes)-1]
+		p.AdvanceTo(t)
+		p.Checkpoint()
+		return false
+	}
+	p.state = stateBlocked
+	p.blockReason = reason
+	p.wait = w
+	p.eng.dispatch(p)
+	return true
 }
 
 // WakeAt makes a parked processor runnable at time t (or at its own clock,
@@ -236,11 +311,15 @@ func (p *Proc) SleepUntil(t Time) {
 		p.Checkpoint()
 		return
 	}
-	p.eng.ScheduleAt(t, func() { p.WakeAt(t) })
+	p.eng.ScheduleCall(t, wakeProcEvent, p)
 	for p.clock < t {
 		p.Park("sleep")
 	}
 }
+
+// wakeProcEvent is SleepUntil's alarm: a top-level EventFn, so arming a
+// sleep allocates nothing (the *Proc rides in the event's arg).
+func wakeProcEvent(arg any, at Time) { arg.(*Proc).WakeAt(at) }
 
 // Sleep parks the processor for a duration of virtual time.
 func (p *Proc) Sleep(d Time) { p.SleepUntil(p.clock + d) }

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -242,6 +243,78 @@ func TestPanicPropagation(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "proc 2") {
 		t.Errorf("error should identify proc 2: %v", err)
+	}
+}
+
+func TestFirstFailureWins(t *testing.T) {
+	// Two processors fail concurrently: proc 0 panics first (it is the
+	// first to reach its panic site in virtual-time order), and proc 1's
+	// body defers a second panic into the abort unwind. The recorded
+	// failure must be the root cause, not whichever unwind finished last.
+	e := New(Config{Procs: 2})
+	err := e.Run(func(p *Proc) {
+		if p.ID() == 1 {
+			defer func() {
+				// Runs while unwinding via the abort path; must not
+				// overwrite the root-cause failure.
+				panic("secondary failure during unwind")
+			}()
+			p.Park("waiting forever")
+		}
+		p.Advance(5)
+		p.Checkpoint()
+		panic("root cause")
+	})
+	if err == nil || !strings.Contains(err.Error(), "root cause") {
+		t.Fatalf("expected root-cause failure to win, got %v", err)
+	}
+	if strings.Contains(err.Error(), "secondary failure") {
+		t.Errorf("secondary unwind panic masked the root cause: %v", err)
+	}
+}
+
+func TestTimeLimitFirstFailureWins(t *testing.T) {
+	// A time-limit abort must also respect first-wins when a body panics
+	// during the resulting unwind.
+	e := New(Config{Procs: 2, TimeLimit: 100})
+	err := e.Run(func(p *Proc) {
+		if p.ID() == 1 {
+			defer func() { panic("secondary") }()
+			p.Park("waiting forever")
+		}
+		p.Advance(1000)
+		p.Checkpoint()
+	})
+	if !errors.Is(err, ErrTimeLimit) {
+		t.Fatalf("expected ErrTimeLimit, got %v", err)
+	}
+}
+
+func TestScheduleAndSleepZeroAlloc(t *testing.T) {
+	// The pooled event path: once the event heap has reached its
+	// high-water mark, arming a sleep (ScheduleCall + park + fast-path
+	// wake) must not allocate. Measured from inside the body, where the
+	// steady state lives.
+	e := New(Config{Procs: 1})
+	var got uint64
+	err := e.Run(func(p *Proc) {
+		for i := 0; i < 100; i++ { // warm the event heap
+			p.Sleep(10)
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < 1000; i++ {
+			p.Sleep(10)
+		}
+		runtime.ReadMemStats(&after)
+		got = after.Mallocs - before.Mallocs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("steady-state Sleep path allocated %d times in 1000 iterations, want 0", got)
 	}
 }
 
