@@ -12,10 +12,17 @@
 // machine and toolchain. The deterministic columns (events run, switches,
 // switches saved) are comparable anywhere.
 //
+// With -scale the hot-path matrix is replaced by the weak-scaling
+// matrix: the three scalekern continuation kernels up the processor
+// ladder (to P=1M full, P=10k quick), measuring wall-clock, events/sec,
+// and heap bytes per simulated processor. Its report defaults to
+// BENCH_scale.json.
+//
 // Usage:
 //
 //	reprobench -quick -out BENCH_sim.json
 //	reprobench -jobs 8 -out BENCH_sim.json -baseline results/BENCH_baseline.json
+//	reprobench -scale -quick -baseline results/BENCH_scale.json
 package main
 
 import (
@@ -34,10 +41,20 @@ func main() {
 		out      = flag.String("out", "BENCH_sim.json", "report output path ('' = stdout table only)")
 		baseline = flag.String("baseline", "", "compare against this saved report; exit 1 on regression")
 		tol      = flag.Float64("tolerance", bench.DefaultTolerance, "fractional ns/msg growth allowed before failing")
+		scale    = flag.Bool("scale", false, "run the weak-scaling matrix instead of the hot-path matrix")
 	)
 	flag.Parse()
 
-	rep, err := bench.Run(bench.Options{Quick: *quick, Jobs: *jobs, Seed: *seed})
+	var rep *bench.Report
+	var err error
+	if *scale {
+		if *out == "BENCH_sim.json" {
+			*out = "BENCH_scale.json"
+		}
+		rep, err = bench.RunScale(bench.ScaleOptions{Quick: *quick, Seed: *seed})
+	} else {
+		rep, err = bench.Run(bench.Options{Quick: *quick, Jobs: *jobs, Seed: *seed})
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reprobench: %v\n", err)
 		os.Exit(1)

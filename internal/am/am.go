@@ -162,7 +162,7 @@ func NewMachine(eng *sim.Engine, params logp.Params) (*Machine, error) {
 		m.eps[i] = &Endpoint{
 			m:           m,
 			proc:        eng.Proc(i),
-			outstanding: make([]int, eng.P()),
+			outstanding: newWinCounts(eng.P()),
 		}
 		m.eps[i].pw.ep = m.eps[i]
 	}
@@ -240,8 +240,9 @@ type Endpoint struct {
 	// head indexes the first live element; the queue compacts lazily.
 	inbox     []*message
 	inboxHead int
-	// outstanding counts un-acked requests per destination (window).
-	outstanding []int
+	// outstanding counts un-acked requests per destination (window),
+	// dense below denseWinMaxP and sparse above it (see window.go).
+	outstanding winCounts
 	// inHandler guards against illegal nested polling from handlers.
 	inHandler bool
 	// tok is the scratch Token handed to handlers, reused across
@@ -260,22 +261,65 @@ type Endpoint struct {
 
 // epWait adapts an endpoint's spin-poll wait loop to sim.PollableWait, so
 // the engine can drive wait iterations inline instead of resuming the
-// waiter's goroutine (see Proc.ParkPollable). With cond set it is a
-// WaitUntilFor wait; with cond nil it is a window stall on dst, ready when
-// a request credit toward dst is free — kept closure-free because window
-// stalls are part of the steady-state send path.
+// waiter's goroutine (see Proc.ParkPollable) — and, in resumable mode,
+// so continuation bodies can park on it directly (see cont.go). Four
+// modes, chosen to keep the steady-state paths closure-free:
+//
+//   - waitModeWindow: a window stall on dst, ready when a request credit
+//     toward dst is free (the send path's stall).
+//   - waitModeCond: a WaitUntilFor condition closure.
+//   - waitModeCounter: ready when *ctr >= target — the closure-free form
+//     continuation primitives use for replies, barrier rounds, and
+//     collective operands (cumulative counters, so no reset races).
+//   - waitModeQuiesce: ready when every outstanding request is acked
+//     (store sync).
 type epWait struct {
-	ep   *Endpoint
-	cond func() bool
-	dst  int
-	win  int
+	ep     *Endpoint
+	mode   waitMode
+	cond   func() bool
+	ctr    *int64
+	target int64
+	dst    int
+	win    int
+	reason string
+}
+
+type waitMode uint8
+
+const (
+	waitModeWindow waitMode = iota
+	waitModeCond
+	waitModeCounter
+	waitModeQuiesce
+)
+
+// set re-points the endpoint's reusable wait record at a new wait. Waits
+// never nest (one body, and handlers may not wait), so reuse is safe in
+// both runtime modes.
+func (w *epWait) set(mode waitMode, cond func() bool, ctr *int64, target int64, dst, win int, reason string) *epWait {
+	w.mode, w.cond, w.ctr, w.target, w.dst, w.win, w.reason = mode, cond, ctr, target, dst, win, reason
+	return w
 }
 
 func (w *epWait) Ready(_ *sim.Proc) bool {
-	if w.cond != nil {
+	switch w.mode {
+	case waitModeCond:
 		return w.cond()
+	case waitModeCounter:
+		return *w.ctr >= w.target
+	case waitModeQuiesce:
+		return w.ep.outstanding.total == 0
+	default:
+		return w.ep.outstanding.get(w.dst) < w.win
 	}
-	return w.ep.outstanding[w.dst] < w.win
+}
+
+// WaitReason labels the wait in deadlock diagnostics (sim.WaitReasoner).
+func (w *epWait) WaitReason() string {
+	if w.reason != "" {
+		return w.reason
+	}
+	return "am: endpoint wait"
 }
 
 func (w *epWait) PollOne(_ *sim.Proc) bool { return w.ep.pollOne() }
@@ -339,7 +383,7 @@ func (ep *Endpoint) Request(dst int, class Class, h Handler, args Args) {
 	ep.Poll()
 	ep.waitWindow(dst)
 	ep.chargeSend()
-	ep.outstanding[dst]++
+	ep.outstanding.inc(dst)
 	msg := ep.m.getMsg()
 	msg.kind, msg.src, msg.dst, msg.class, msg.handler, msg.args = kindRequest, ep.ID(), dst, class, h, args
 	ep.m.stats.countSendAt(ep.ID(), dst, class, false, 0, ep.proc.Clock())
@@ -385,7 +429,7 @@ func (ep *Endpoint) Store(dst int, class Class, h BulkHandler, args Args, data [
 	ep.Poll()
 	ep.waitWindow(dst)
 	ep.chargeSend()
-	ep.outstanding[dst]++
+	ep.outstanding.inc(dst)
 	// The payload is copied into a fresh buffer because ownership of the
 	// bytes transfers to the receiving handler; only the record is pooled.
 	buf := make([]byte, len(data))
@@ -446,7 +490,7 @@ func (ep *Endpoint) StoreLarge(dst int, class Class, h BulkHandler, args Args, d
 // a heap allocation per stall.
 func (ep *Endpoint) waitWindow(dst int) {
 	w := ep.params().Window
-	if ep.outstanding[dst] < w {
+	if ep.outstanding.get(dst) < w {
 		return
 	}
 	h := ep.m.hooks
@@ -455,7 +499,7 @@ func (ep *Endpoint) waitWindow(dst int) {
 	}
 	for {
 		ep.proc.Checkpoint()
-		if ep.outstanding[dst] < w {
+		if ep.outstanding.get(dst) < w {
 			break
 		}
 		if ep.pollOne() {
@@ -465,7 +509,7 @@ func (ep *Endpoint) waitWindow(dst int) {
 			ep.proc.AdvanceTo(next.arrival)
 			continue
 		}
-		ep.pw.cond, ep.pw.dst, ep.pw.win = nil, dst, w
+		ep.pw.set(waitModeWindow, nil, nil, 0, dst, w, "am: window stall")
 		if ep.proc.ParkPollable(&ep.pw, "am: window stall") {
 			// The engine drove the wait to completion inline: a credit
 			// toward dst is free, established at the instant the CPU was
@@ -701,13 +745,9 @@ func (ep *Endpoint) process(msg *message) {
 
 // TotalOutstanding reports the number of un-acked requests across all
 // destinations; zero means every store this processor issued has been
-// applied at its destination.
+// applied at its destination. O(1): the window counts carry their total.
 func (ep *Endpoint) TotalOutstanding() int {
-	total := 0
-	for _, n := range ep.outstanding {
-		total += n
-	}
-	return total
+	return int(ep.outstanding.total)
 }
 
 // pollOne processes at most one due message, reporting whether it did.
@@ -756,9 +796,9 @@ func (ep *Endpoint) WaitUntilFor(kind WaitKind, cond func() bool, reason string)
 			ep.proc.AdvanceTo(next.arrival)
 			continue
 		}
-		ep.pw.cond = cond
+		ep.pw.set(waitModeCond, cond, nil, 0, 0, 0, reason)
 		done := ep.proc.ParkPollable(&ep.pw, reason)
-		ep.pw.cond = nil
+		ep.pw.set(waitModeWindow, nil, nil, 0, 0, 0, "")
 		if done {
 			// The engine drove the wait to completion inline: cond held
 			// at the instant the CPU was handed back, with all events due
@@ -776,4 +816,4 @@ func (ep *Endpoint) WaitUntilFor(kind WaitKind, cond func() bool, reason string)
 func (ep *Endpoint) PendingArrivals() int { return len(ep.inbox) - ep.inboxHead }
 
 // Outstanding reports the in-flight request count toward dst (tests).
-func (ep *Endpoint) Outstanding(dst int) int { return ep.outstanding[dst] }
+func (ep *Endpoint) Outstanding(dst int) int { return ep.outstanding.get(dst) }

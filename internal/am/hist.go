@@ -110,8 +110,12 @@ func (h *Histogram) String() string {
 	return b.String()
 }
 
-// recordSendInterval feeds the per-processor send-interval histogram.
+// recordSendInterval feeds the per-processor send-interval histogram
+// (absent above statsDetailMaxP).
 func (s *Stats) recordSendInterval(src int, now sim.Time) {
+	if s.lastSend == nil {
+		return
+	}
 	if s.lastSend[src] >= 0 {
 		s.SendIntervals[src].Add(now - sim.Time(s.lastSend[src]))
 	}

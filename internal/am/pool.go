@@ -66,7 +66,7 @@ func deliverEvent(arg any, at sim.Time) {
 	msg := arg.(*message)
 	dst := msg.m.eps[msg.dst]
 	if msg.kind == kindReply || msg.kind == kindBulkReply {
-		dst.outstanding[msg.src]--
+		dst.outstanding.dec(msg.src)
 	}
 	msg.arrival = at
 	dst.pushInbox(msg)
@@ -80,7 +80,7 @@ func creditEvent(arg any, at sim.Time) {
 	msg := arg.(*message)
 	m := msg.m
 	requester := m.eps[msg.src]
-	requester.outstanding[msg.dst]--
+	requester.outstanding.dec(msg.dst)
 	requester.proc.WakeAt(at)
 	m.putMsg(msg)
 }

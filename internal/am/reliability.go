@@ -240,7 +240,7 @@ func (r *relEndpoint) arrive(dst *Endpoint, msg *message, at sim.Time) {
 func (r *relEndpoint) accept(dst *Endpoint, msg *message, at sim.Time) {
 	msg.arrival = at
 	if msg.kind == kindReply || msg.kind == kindBulkReply {
-		dst.outstanding[msg.src]--
+		dst.outstanding.dec(msg.src)
 	}
 	dst.pushInbox(msg)
 	dst.proc.WakeAt(at)

@@ -44,16 +44,27 @@ type Stats struct {
 	DupsDiscarded int64 // arrivals discarded by receiver-side dedup
 }
 
+// statsDetailMaxP bounds the per-pair and per-interval instrumentation:
+// the P×P balance matrix and the ~400-byte interval histogram per
+// processor only exist on machines small enough to render them (every
+// paper figure needs P ≤ 64). Above the bound they stay nil and the
+// scalar per-processor counters carry the characterization — a
+// million-processor machine cannot afford a 10¹²-cell matrix.
+const statsDetailMaxP = 4096
+
 func newStats(p int) *Stats {
 	s := &Stats{p: p}
-	s.Matrix = make([][]int64, p)
-	for i := range s.Matrix {
-		s.Matrix[i] = make([]int64, p)
-	}
 	s.SentPerProc = make([]int64, p)
 	s.BulkPerProc = make([]int64, p)
 	s.BulkBytesPer = make([]int64, p)
 	s.ReadPerProc = make([]int64, p)
+	if p > statsDetailMaxP {
+		return s
+	}
+	s.Matrix = make([][]int64, p)
+	for i := range s.Matrix {
+		s.Matrix[i] = make([]int64, p)
+	}
 	s.SendIntervals = make([]Histogram, p)
 	s.lastSend = make([]int64, p)
 	for i := range s.lastSend {
@@ -63,7 +74,9 @@ func newStats(p int) *Stats {
 }
 
 func (s *Stats) countSend(src, dst int, class Class, bulk bool, bytes int) {
-	s.Matrix[src][dst]++
+	if s.Matrix != nil {
+		s.Matrix[src][dst]++
+	}
 	s.SentPerProc[src]++
 	if bulk {
 		s.BulkPerProc[src]++
@@ -86,14 +99,16 @@ func (s *Stats) CountBarrier() { s.Barriers++ }
 
 // Reset zeroes all counters (for excluding warm-up phases).
 func (s *Stats) Reset() {
-	for i := range s.Matrix {
-		for j := range s.Matrix[i] {
-			s.Matrix[i][j] = 0
-		}
+	for i := range s.SentPerProc {
 		s.SentPerProc[i] = 0
 		s.BulkPerProc[i] = 0
 		s.BulkBytesPer[i] = 0
 		s.ReadPerProc[i] = 0
+	}
+	for i := range s.Matrix {
+		for j := range s.Matrix[i] {
+			s.Matrix[i][j] = 0
+		}
 		s.SendIntervals[i] = Histogram{}
 		s.lastSend[i] = -1
 	}

@@ -1,0 +1,84 @@
+package am
+
+// winCounts tracks un-acked requests per destination, plus their running
+// total so TotalOutstanding — polled by every store-sync — is O(1)
+// rather than a scan over P destinations.
+//
+// The representation adapts to machine size. Below denseWinMaxP a dense
+// per-destination array keeps the steady-state send path branch-free and
+// allocation-free, exactly as before. Above it, a dense array would cost
+// P counters per endpoint — P² machine-wide, hopeless at P=1M — so the
+// counts live in a tiny list of live (dst, n) pairs scanned linearly: an
+// endpoint has at most Window in-flight requests per destination and
+// only a handful of destinations in flight at once (entries vanish when
+// their count returns to zero), so the scan touches a few cache-resident
+// elements. Both representations hold identical counts; switching
+// between them cannot perturb any schedule.
+type winCounts struct {
+	dense   []int32
+	entries []winEntry
+	total   int64
+}
+
+type winEntry struct {
+	dst int32
+	n   int32
+}
+
+// denseWinMaxP bounds the dense window representation: 4096 endpoints of
+// 4096 int32 counters is 64 MiB machine-wide, the largest we accept.
+const denseWinMaxP = 4096
+
+func newWinCounts(p int) winCounts {
+	if p <= denseWinMaxP {
+		return winCounts{dense: make([]int32, p)}
+	}
+	return winCounts{}
+}
+
+func (w *winCounts) get(dst int) int {
+	if w.dense != nil {
+		return int(w.dense[dst])
+	}
+	for i := range w.entries {
+		if w.entries[i].dst == int32(dst) {
+			return int(w.entries[i].n)
+		}
+	}
+	return 0
+}
+
+func (w *winCounts) inc(dst int) {
+	w.total++
+	if w.dense != nil {
+		w.dense[dst]++
+		return
+	}
+	for i := range w.entries {
+		if w.entries[i].dst == int32(dst) {
+			w.entries[i].n++
+			return
+		}
+	}
+	w.entries = append(w.entries, winEntry{dst: int32(dst), n: 1})
+}
+
+func (w *winCounts) dec(dst int) {
+	w.total--
+	if w.dense != nil {
+		w.dense[dst]--
+		return
+	}
+	for i := range w.entries {
+		if w.entries[i].dst != int32(dst) {
+			continue
+		}
+		w.entries[i].n--
+		if w.entries[i].n == 0 {
+			last := len(w.entries) - 1
+			w.entries[i] = w.entries[last]
+			w.entries = w.entries[:last]
+		}
+		return
+	}
+}

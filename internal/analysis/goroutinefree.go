@@ -12,11 +12,15 @@ import (
 // only to internal/run's worker pool, which parallelizes across
 // simulations, never within one.
 //
-// The one sanctioned exception is internal/sim's cooperative
-// scheduler, which multiplexes processor bodies over goroutines with a
-// strict one-runnable-at-a-time handoff; those sites carry
-// //lint:allow goroutinefree annotations explaining why the handoff is
-// deterministic.
+// The one sanctioned exception is the coroutine compatibility shell in
+// internal/sim/engine.go, which multiplexes blocking SPMD bodies over
+// goroutines with a strict one-runnable-at-a-time handoff; those sites
+// carry //lint:allow goroutinefree annotations explaining why the
+// handoff is deterministic. The resumable runtime that replaced it as
+// the scaling path (sim/resume.go, am/cont.go, splitc/cont.go, the
+// scalekern kernels) runs every processor on the engine's own
+// goroutine and needs no exception — the shell-confinement test pins
+// that no allow directive appears outside engine.go.
 var GoroutineFree = &Analyzer{
 	Name: "goroutinefree",
 	Doc:  "forbid go statements and channel operations in simulation packages",

@@ -1,0 +1,67 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestGoroutineAllowsConfinedToShell pins where the goroutinefree
+// escape hatch may be used: only internal/sim/engine.go, the
+// compatibility shell that multiplexes blocking SPMD bodies over
+// coroutines. The resumable runtime (sim/resume.go, am/cont.go,
+// splitc/cont.go, the scalekern kernels) is engine-driven and needs no
+// goroutines at all — that is the point of the refactor — so an allow
+// directive appearing anywhere else means a channel crept into code
+// that is supposed to run a million processors on one goroutine.
+func TestGoroutineAllowsConfinedToShell(t *testing.T) {
+	root, _, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			// Fixtures under testdata demonstrate the escape hatch on
+			// purpose; they are not part of the simulator.
+			if info.Name() == "testdata" || info.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if !strings.Contains(line, "//lint:allow goroutinefree") {
+				continue
+			}
+			if rel == filepath.Join("internal", "sim", "engine.go") {
+				continue
+			}
+			if rel == filepath.Join("internal", "analysis", "goroutinefree.go") ||
+				strings.HasPrefix(rel, filepath.Join("internal", "analysis")+string(filepath.Separator)) {
+				// The analyzer's own docs and tests mention the directive.
+				continue
+			}
+			t.Errorf("%s:%d: goroutinefree allow outside the coroutine shell (engine.go); the resumable runtime must stay channel-free", rel, i+1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package scalekern holds the weak-scaling kernel suite: three small,
+// communication-faithful kernels used to push the simulated machine far
+// past the paper's 32 processors (the scale experiment runs them at up
+// to P = 1M). Each kernel is written twice against the splitc layer —
+// once as a blocking SPMD body for the coroutine runtime and once as a
+// resumable Task state machine for the continuation runtime — with the
+// same primitive calls and compute charges statement for statement, so
+// the two modes produce identical virtual timelines (pinned by the
+// package tests at small P).
+//
+// The kernels cover the three communication archetypes of the paper's
+// suite:
+//
+//   - scale-radix — barrier-synchronized: a one-digit parallel counting
+//     sort (histogram, prefix scans, permute via pipelined writes), the
+//     communication skeleton of Radix.
+//   - scale-em3d  — pipelined: iterations of short boundary writes plus
+//     a bulk field push around a ring, the skeleton of EM3D.
+//   - scale-pray  — request/reply: rounds of blocking reads from hashed
+//     partners, the skeleton of P-Ray's scene-cache lookups.
+//
+// Work is sized per processor (weak scaling): Config.Scale sets the
+// per-processor work, and total work grows linearly with P while the
+// synchronization depth grows as log P.
+package scalekern
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+)
+
+// All returns the continuation-mode kernel suite in canonical order.
+func All() []apps.App {
+	return []apps.App{Radix{}, Em3d{}, Pray{}}
+}
+
+// Names lists the continuation-mode kernel names in canonical order.
+func Names() []string {
+	var out []string
+	for _, a := range All() {
+		out = append(out, a.Name())
+	}
+	return out
+}
+
+// ByName resolves a kernel by name. The "-blk" suffix selects the
+// blocking (coroutine-runtime) twin of a kernel, used by the
+// cross-runtime equivalence tests.
+func ByName(name string) (apps.App, error) {
+	switch name {
+	case "scale-radix":
+		return Radix{}, nil
+	case "scale-radix-blk":
+		return Radix{Blocking: true}, nil
+	case "scale-em3d":
+		return Em3d{}, nil
+	case "scale-em3d-blk":
+		return Em3d{Blocking: true}, nil
+	case "scale-pray":
+		return Pray{}, nil
+	case "scale-pray-blk":
+		return Pray{Blocking: true}, nil
+	}
+	return nil, fmt.Errorf("scalekern: unknown kernel %q (have scale-radix, scale-em3d, scale-pray and their -blk twins)", name)
+}
+
+// splitmix64 is the kernels' deterministic hash: input generation and
+// partner selection derive from it so both runtime modes (and reruns)
+// see bit-identical inputs without touching the per-processor PRNG.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// mode renders the runtime mode for descriptions.
+func mode(blocking bool) string {
+	if blocking {
+		return "coroutine"
+	}
+	return "continuation"
+}
+
+// blkSuffix appends the blocking-twin name suffix.
+func blkSuffix(name string, blocking bool) string {
+	if blocking {
+		return name + "-blk"
+	}
+	return name
+}

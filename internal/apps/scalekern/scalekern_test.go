@@ -1,0 +1,88 @@
+package scalekern
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// kernelPairs lists each kernel with its blocking twin.
+func kernelPairs() [][2]apps.App {
+	return [][2]apps.App{
+		{Radix{}, Radix{Blocking: true}},
+		{Em3d{}, Em3d{Blocking: true}},
+		{Pray{}, Pray{Blocking: true}},
+	}
+}
+
+// TestKernelsMatchBlocking pins each kernel's continuation run against
+// its coroutine twin: identical config → identical virtual makespan,
+// message footprint, and (via Verify) identical answers.
+func TestKernelsMatchBlocking(t *testing.T) {
+	for _, pair := range kernelPairs() {
+		cont, blk := pair[0], pair[1]
+		for _, P := range []int{1, 2, 32, 64} {
+			cfg := apps.Config{Procs: P, Seed: 7, Verify: true}
+			rc, err := cont.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", cont.Name(), P, err)
+			}
+			rb, err := blk.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", blk.Name(), P, err)
+			}
+			if rc.Elapsed != rb.Elapsed {
+				t.Errorf("%s P=%d: continuation elapsed %v, coroutine %v", cont.Name(), P, rc.Elapsed, rb.Elapsed)
+			}
+			if sc, sb := rc.Stats.TotalSent(), rb.Stats.TotalSent(); sc != sb {
+				t.Errorf("%s P=%d: continuation sent %d messages, coroutine %d", cont.Name(), P, sc, sb)
+			}
+			if rc.Summary != rb.Summary {
+				t.Errorf("%s P=%d: summaries differ:\n  continuation %+v\n  coroutine    %+v", cont.Name(), P, rc.Summary, rb.Summary)
+			}
+		}
+	}
+}
+
+// TestKernelsDeterministic pins that two identical continuation runs
+// produce the same virtual timeline.
+func TestKernelsDeterministic(t *testing.T) {
+	for _, a := range All() {
+		var elapsed [2]float64
+		var sent [2]int64
+		for i := range elapsed {
+			res, err := a.Run(apps.Config{Procs: 16, Seed: 3, Verify: true})
+			if err != nil {
+				t.Fatalf("%s: %v", a.Name(), err)
+			}
+			elapsed[i] = res.Elapsed.Seconds()
+			sent[i] = res.Stats.TotalSent()
+		}
+		if elapsed[0] != elapsed[1] || sent[0] != sent[1] {
+			t.Errorf("%s: nondeterministic runs: %v/%d vs %v/%d", a.Name(), elapsed[0], sent[0], elapsed[1], sent[1])
+		}
+	}
+}
+
+// TestByName pins the registry, including the -blk twins.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"scale-radix", "scale-em3d", "scale-pray"} {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, a.Name())
+		}
+		b, err := ByName(name + "-blk")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name() != name+"-blk" {
+			t.Errorf("ByName(%q).Name() = %q", name+"-blk", b.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}

@@ -27,6 +27,9 @@ type Report struct {
 // Case is one benchmark measurement.
 type Case struct {
 	Name string `json:"name"`
+	// Procs is the simulated cluster size, for the scale-matrix cases
+	// that sweep it (zero elsewhere).
+	Procs int `json:"procs,omitempty"`
 	// Messages is the work unit count (short messages, bulk fragments, or
 	// application messages); zero when only wall-clock is meaningful.
 	Messages int64 `json:"messages"`
@@ -41,6 +44,12 @@ type Case struct {
 	Allocs int64 `json:"allocs"`
 	// EventsPerSec is discrete events executed per host second.
 	EventsPerSec float64 `json:"events_per_sec"`
+	// BytesPerProc is heap bytes allocated per simulated processor over
+	// the whole run — the scale matrix's memory axis. Weak scaling keeps
+	// per-processor work fixed, so this should stay near-flat up the
+	// ladder; growth with P means a per-processor cost proportional to
+	// the machine size leaked in.
+	BytesPerProc float64 `json:"bytes_per_proc,omitempty"`
 	// Switches / SwitchesSaved are the engine's goroutine hand-off
 	// counters; EventsRun is the event total. These are deterministic per
 	// workload, unlike the timing fields.
@@ -79,11 +88,15 @@ func (r *Report) Render() string {
 		mode = "quick"
 	}
 	fmt.Fprintf(&b, "reprobench (%s, %s/%s)\n", mode, r.GoVersion, r.GOARCH)
-	fmt.Fprintf(&b, "%-24s %12s %10s %10s %12s %14s %12s\n",
-		"case", "messages", "wall ms", "ns/msg", "allocs/msg", "events/sec", "sw saved")
+	fmt.Fprintf(&b, "%-24s %12s %10s %10s %12s %14s %12s %12s\n",
+		"case", "messages", "wall ms", "ns/msg", "allocs/msg", "events/sec", "B/proc", "sw saved")
 	for _, c := range r.Cases {
-		fmt.Fprintf(&b, "%-24s %12d %10.1f %10.1f %12.4f %14.0f %12d\n",
-			c.Name, c.Messages, c.WallMs, c.NsPerMsg, c.AllocsPerMsg, c.EventsPerSec, c.SwitchesSaved)
+		bpp := "-"
+		if c.BytesPerProc > 0 {
+			bpp = fmt.Sprintf("%.0f", c.BytesPerProc)
+		}
+		fmt.Fprintf(&b, "%-24s %12d %10.1f %10.1f %12.4f %14.0f %12s %12d\n",
+			c.Name, c.Messages, c.WallMs, c.NsPerMsg, c.AllocsPerMsg, c.EventsPerSec, bpp, c.SwitchesSaved)
 	}
 	return b.String()
 }

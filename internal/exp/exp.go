@@ -159,8 +159,10 @@ func (e Experiment) Run(o Options) (*Table, error) {
 
 // DefaultRunner builds the runner experiments execute on: the paper's
 // baseline machine, Options.Jobs workers, optional progress callback.
+// Names resolve through the paper suite first, then the weak-scaling
+// kernels (ResolveApp).
 func DefaultRunner(o Options, onProgress func(run.Progress)) *run.Runner {
-	return &run.Runner{Jobs: o.Jobs, Params: baseParams(), OnProgress: onProgress}
+	return &run.Runner{Jobs: o.Jobs, Params: baseParams(), Resolve: ResolveApp, OnProgress: onProgress}
 }
 
 // PlanFor merges the plans of several experiments so shared runs
@@ -228,6 +230,7 @@ func Registry() []Experiment {
 		{"ext-phases", "Extension: Radix phase shares under overhead", extPhasesPlan, extPhasesRender},
 		{"profile", "Stall attribution per application (LogGP accountant)", profilePlan, profileRender},
 		{"faults", "Extension: fault injection — delay propagation and lossy-wire recovery", faultsPlan, faultsRender},
+		{"scale", "Weak scaling on the resumable runtime (P to 1M)", scalePlan, scaleRender},
 	}
 }
 

@@ -34,6 +34,19 @@ type Engine struct {
 	doneCh     chan struct{}
 	doneClosed bool
 	wg         sync.WaitGroup
+
+	// seed feeds the lazily built per-processor PRNGs (see Proc.Rand).
+	seed int64
+	// started flips when Run/RunEach/RunResumables begins; engines are
+	// single-use.
+	started bool
+	// resumable marks a RunResumables run: processor bodies are state
+	// machines driven from the caller's goroutine, no coroutine shell
+	// exists, and the channel-based primitives must not be used.
+	resumable bool
+	// stepping is the processor whose Resume call is currently executing,
+	// for failure attribution when a resumable body panics.
+	stepping *Proc
 	// failMu serializes the teardown path. Steady-state execution is
 	// single-token and needs no locking, but once an abort begins, every
 	// parked goroutine is woken and unwinds concurrently — and a body can
@@ -64,10 +77,10 @@ func New(cfg Config) *Engine {
 		panic(fmt.Sprintf("sim: Config.Procs must be >= 1, got %d", cfg.Procs))
 	}
 	//lint:allow goroutinefree doneCh signals run completion to the single external caller of Run
-	e := &Engine{doneCh: make(chan struct{}), timeLimit: cfg.TimeLimit}
+	e := &Engine{doneCh: make(chan struct{}), timeLimit: cfg.TimeLimit, seed: cfg.Seed}
 	e.procs = make([]*Proc, cfg.Procs)
 	for i := range e.procs {
-		e.procs[i] = newProc(e, i, cfg.Seed)
+		e.procs[i] = newProc(e, i)
 	}
 	return e
 }
@@ -175,15 +188,24 @@ func (e *Engine) Run(body func(*Proc)) error {
 	return e.RunEach(bodies)
 }
 
-// RunEach is Run with a distinct body per processor.
+// RunEach is Run with a distinct body per processor. This is the
+// compatibility shell of the two-mode runtime: bodies are ordinary
+// functions on per-processor goroutines, suspended and resumed through
+// buffered channels. RunResumables is the goroutine-free mode.
 func (e *Engine) RunEach(bodies []func(*Proc)) error {
 	if len(bodies) != len(e.procs) {
 		return fmt.Errorf("sim: RunEach got %d bodies for %d procs", len(bodies), len(e.procs))
 	}
+	if e.started {
+		return fmt.Errorf("sim: engine already started; New an engine per run")
+	}
+	e.started = true
 	e.liveCount = len(e.procs)
 	e.wg.Add(len(e.procs))
 	for i, p := range e.procs {
 		p.state = stateReady
+		//lint:allow goroutinefree resume is the coroutine handoff channel; buffer 1 so handoffs never block the sender
+		p.resume = make(chan struct{}, 1)
 		e.ready.push(p)
 		//lint:allow goroutinefree processor bodies are coroutines: exactly one is runnable at a time, handed off via resume
 		go e.procMain(p, bodies[i])
@@ -281,8 +303,12 @@ func (e *Engine) abortFromRunning() {
 		for _, p := range e.procs {
 			if p.state == stateReady || p.state == stateBlocked || p.state == statePending {
 				p.state = stateDone
-				//lint:allow goroutinefree abort path: wake every parked coroutine so it unwinds via abortPanic
-				p.resume <- struct{}{}
+				// Resumable processors have no goroutine to unwind (resume
+				// is nil); marking them done is the whole teardown.
+				if p.resume != nil {
+					//lint:allow goroutinefree abort path: wake every parked coroutine so it unwinds via abortPanic
+					p.resume <- struct{}{}
+				}
 			}
 		}
 	}

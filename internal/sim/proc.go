@@ -34,21 +34,37 @@ const (
 	stateDone                     // body returned
 )
 
-// Proc is one simulated processor. Program code runs on the processor's
-// goroutine and manipulates virtual time through this handle. A Proc is not
-// safe for use from any goroutine other than its own body (the engine
+// Proc is one simulated processor in either of the runtime's two modes.
+// In the coroutine shell (Run/RunEach) the body is an ordinary function
+// on its own goroutine, suspended and resumed through the buffered
+// resume channel; in resumable mode (RunResumables) the body is a state
+// machine the driver steps inline and the channel is never created. Both
+// modes manipulate virtual time through this handle, and both park on
+// the same PollableWait machinery — which is why a program expressed
+// either way sees the same virtual timeline at its waits. A Proc is not
+// safe for use from outside its body's execution context (the engine
 // guarantees only one body runs at a time, so cross-proc data structures
-// need no locking, but a Proc handle must not be captured by another body).
+// need no locking, but a Proc handle must not be captured by another
+// body); WakeAt is the one exception.
 type Proc struct {
 	id        int
 	eng       *Engine
 	clock     Time
 	state     procState
 	heapIndex int
-	resume    chan struct{}
+	// resume is the coroutine-shell handoff channel. It exists only for
+	// goroutine-backed processors (created by RunEach); resumable
+	// processors leave it nil — they have no goroutine to hand control to.
+	resume chan struct{}
+	// body is the processor's state machine in resumable mode, nil in the
+	// coroutine shell.
+	body Resumable
 
 	blockReason string
-	rng         *rand.Rand
+	// rng is built lazily by Rand: a million-processor machine whose
+	// bodies never draw random numbers should not pay ~5 KiB of PRNG
+	// state per processor up front.
+	rng *rand.Rand
 
 	// pendingWakes records WakeAt calls that arrived while the processor
 	// was not parked (running, ready, or not yet started). Park consumes
@@ -69,15 +85,12 @@ type Proc struct {
 	onStretch func(from, d Time) Time
 }
 
-func newProc(e *Engine, id int, seed int64) *Proc {
+func newProc(e *Engine, id int) *Proc {
 	return &Proc{
 		id:        id,
 		eng:       e,
 		state:     statePending,
 		heapIndex: -1,
-		//lint:allow goroutinefree resume is the coroutine handoff channel; buffer 1 so handoffs never block the sender
-		resume: make(chan struct{}, 1),
-		rng:    rand.New(rand.NewSource(seed*1_000_003 + int64(id)*7919 + 1)),
 	}
 }
 
@@ -90,8 +103,15 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Clock returns the processor's current virtual time.
 func (p *Proc) Clock() Time { return p.clock }
 
-// Rand returns the processor's deterministic PRNG.
-func (p *Proc) Rand() *rand.Rand { return p.rng }
+// Rand returns the processor's deterministic PRNG, constructing it on
+// first use. The stream depends only on the engine seed and the
+// processor id, so laziness cannot perturb any run's timeline.
+func (p *Proc) Rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.eng.seed*1_000_003 + int64(p.id)*7919 + 1))
+	}
+	return p.rng
+}
 
 // SetClockHook attaches fn to observe every clock mutation of this
 // processor: explicit charges, idle spins toward known arrivals, and
@@ -153,6 +173,9 @@ func (p *Proc) AdvanceTo(t Time) {
 // arrivals are observed in virtual-time order.
 func (p *Proc) Checkpoint() {
 	e := p.eng
+	if e.resumable {
+		panic("sim: Checkpoint from a resumable body; use RunDueEvents and continuation waits")
+	}
 	if e.timeLimit > 0 && p.clock > e.timeLimit {
 		panic(timeLimitPanic{})
 	}
@@ -205,6 +228,9 @@ func (p *Proc) Checkpoint() {
 // takes effect. Park panics (aborting the simulation with a deadlock
 // diagnosis) if nothing can ever wake the processor.
 func (p *Proc) Park(reason string) {
+	if p.eng.resumable {
+		panic("sim: Park from a resumable body; return the wait from Resume instead")
+	}
 	if len(p.pendingWakes) > 0 {
 		// A wakeup already arrived while we were running or ready; consume
 		// the earliest one instead of blocking. Shift in place rather than
@@ -254,6 +280,9 @@ type PollableWait interface {
 // wakeup was consumed instead of blocking, in which case the caller loops
 // and re-tests exactly as it would after Park.
 func (p *Proc) ParkPollable(w PollableWait, reason string) bool {
+	if p.eng.resumable {
+		panic("sim: ParkPollable from a resumable body; return the wait from Resume instead")
+	}
 	if len(p.pendingWakes) > 0 {
 		t := p.pendingWakes[0]
 		copy(p.pendingWakes, p.pendingWakes[1:])

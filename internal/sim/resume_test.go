@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// stepFn adapts a closure to Resumable for tests.
+type stepFn func(p *Proc) (PollableWait, bool)
+
+func (f stepFn) Resume(p *Proc) (PollableWait, bool) { return f(p) }
+
+// ctrWait is a minimal pollable wait on a shared counter.
+type ctrWait struct {
+	ctr    *int64
+	target int64
+}
+
+func (w *ctrWait) Ready(_ *Proc) bool            { return *w.ctr >= w.target }
+func (w *ctrWait) PollOne(_ *Proc) bool          { return false }
+func (w *ctrWait) NextWork(_ *Proc) (Time, bool) { return 0, false }
+func (w *ctrWait) WaitReason() string            { return "test: counter wait" }
+
+func TestRunResumablesAdvances(t *testing.T) {
+	e := New(Config{Procs: 4, Seed: 1})
+	bodies := make([]Resumable, 4)
+	for i := range bodies {
+		d := Time(i+1) * Microsecond
+		bodies[i] = stepFn(func(p *Proc) (PollableWait, bool) {
+			p.Advance(d)
+			return nil, true
+		})
+	}
+	if err := e.RunResumables(bodies); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.MaxClock(), 4*Microsecond; got != want {
+		t.Fatalf("MaxClock = %v, want %v", got, want)
+	}
+}
+
+// TestRunResumablesWaitChain has proc 0 release procs 1..P-1 through a
+// counter set by a scheduled event; each released proc then advances and
+// finishes. Exercises park, event-driven wake, and multi-step bodies.
+func TestRunResumablesWaitChain(t *testing.T) {
+	const P = 8
+	e := New(Config{Procs: P, Seed: 1})
+	var released int64
+	bodies := make([]Resumable, P)
+	bodies[0] = stepFn(func(p *Proc) (PollableWait, bool) {
+		p.Advance(10 * Microsecond)
+		at := p.Clock()
+		e.ScheduleAt(at, func() {
+			released = 1
+			for i := 1; i < P; i++ {
+				e.Proc(i).WakeAt(at)
+			}
+		})
+		return nil, true
+	})
+	for i := 1; i < P; i++ {
+		step := 0
+		bodies[i] = stepFn(func(p *Proc) (PollableWait, bool) {
+			switch step {
+			case 0:
+				step = 1
+				return &ctrWait{ctr: &released, target: 1}, false
+			default:
+				if released != 1 {
+					t.Errorf("proc %d resumed before release", p.ID())
+				}
+				if p.Clock() < 10*Microsecond {
+					t.Errorf("proc %d resumed at %v, want >= 10µs", p.ID(), p.Clock())
+				}
+				p.Advance(Microsecond)
+				return nil, true
+			}
+		})
+	}
+	if err := e.RunResumables(bodies); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.MaxClock(), 11*Microsecond; got != want {
+		t.Fatalf("MaxClock = %v, want %v", got, want)
+	}
+}
+
+func TestRunResumablesDeadlock(t *testing.T) {
+	e := New(Config{Procs: 2, Seed: 1})
+	var never int64
+	parked := false
+	bodies := []Resumable{
+		stepFn(func(p *Proc) (PollableWait, bool) { return nil, true }),
+		stepFn(func(p *Proc) (PollableWait, bool) {
+			if !parked {
+				parked = true
+				return &ctrWait{ctr: &never, target: 1}, false
+			}
+			return nil, true
+		}),
+	}
+	err := e.RunResumables(bodies)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	if !strings.Contains(err.Error(), "test: counter wait") {
+		t.Fatalf("deadlock diagnostics missing wait reason: %v", err)
+	}
+}
+
+func TestRunResumablesTimeLimit(t *testing.T) {
+	// The limit check runs between Resume calls and in stepWait, like the
+	// Checkpoint check in coroutine mode: a body that advances past the
+	// limit is caught at its next park.
+	e := New(Config{Procs: 1, Seed: 1, TimeLimit: Microsecond})
+	step := 0
+	var done int64
+	body := stepFn(func(p *Proc) (PollableWait, bool) {
+		if step == 0 {
+			step = 1
+			p.Advance(10 * Microsecond)
+			return &ctrWait{ctr: &done, target: 1}, false
+		}
+		return nil, true
+	})
+	err := e.RunResumables([]Resumable{body})
+	if !errors.Is(err, ErrTimeLimit) {
+		t.Fatalf("err = %v, want ErrTimeLimit", err)
+	}
+}
+
+func TestResumableForbidsCoroutinePrimitives(t *testing.T) {
+	e := New(Config{Procs: 1, Seed: 1})
+	err := e.RunResumables([]Resumable{stepFn(func(p *Proc) (PollableWait, bool) {
+		p.Checkpoint()
+		return nil, true
+	})})
+	if err == nil || !strings.Contains(err.Error(), "Checkpoint from a resumable body") {
+		t.Fatalf("err = %v, want Checkpoint violation", err)
+	}
+}
+
+func TestEngineSingleUse(t *testing.T) {
+	e := New(Config{Procs: 1, Seed: 1})
+	if err := e.Run(func(p *Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunResumables([]Resumable{stepFn(func(p *Proc) (PollableWait, bool) { return nil, true })}); err == nil {
+		t.Fatal("second start on one engine should fail")
+	}
+}

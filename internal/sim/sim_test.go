@@ -529,7 +529,7 @@ func TestProcHeapStress(t *testing.T) {
 	e := New(Config{Procs: 1})
 	ps := make([]*Proc, 64)
 	for i := range ps {
-		ps[i] = newProc(e, i, 0)
+		ps[i] = newProc(e, i)
 		ps[i].clock = Time((i * 37) % 64)
 		h.push(ps[i])
 	}

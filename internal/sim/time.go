@@ -1,14 +1,22 @@
 // Package sim provides a deterministic discrete-event simulation engine
-// for SPMD cluster programs.
+// for SPMD cluster programs, with two processor runtimes behind one
+// scheduling core.
 //
-// The engine runs P logical processors, each on its own goroutine, under a
-// cooperative scheduler: exactly one processor goroutine executes at a time,
-// and at every synchronization point (a "checkpoint") control passes to the
-// runnable processor with the smallest virtual clock. Pending events whose
-// timestamps have been reached are executed before any processor proceeds
-// past them, so processors observe a causally consistent virtual timeline.
-// All scheduling decisions use stable tie-breaking, making every run
-// bit-for-bit reproducible.
+// In the coroutine shell (Engine.Run / RunEach), each of the P logical
+// processors runs its body on a goroutine under a cooperative scheduler:
+// exactly one executes at a time, and at every synchronization point (a
+// "checkpoint") control passes to the runnable processor with the
+// smallest virtual clock. In resumable mode (Engine.RunResumables), a
+// processor body is a state machine the engine steps inline from one
+// driver loop on the caller's goroutine — no goroutines, channels, or
+// stacks per processor, which is what lets the simulated machine scale
+// to a million processors. Both modes share the ready and event heaps,
+// the pollable-wait machinery (the engine drives parked waits itself in
+// either mode), and the same stable tie-breaking, so every run is
+// bit-for-bit reproducible and the two runtimes agree wherever a
+// processor parks. Pending events whose timestamps have been reached are
+// executed before any processor proceeds past them, so processors
+// observe a causally consistent virtual timeline.
 package sim
 
 import "fmt"

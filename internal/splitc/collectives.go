@@ -51,7 +51,7 @@ func (p *Proc) Gather(root int, val uint64) []uint64 {
 	if root < 0 || root >= P {
 		panic(fmt.Sprintf("splitc: Gather root %d out of range", root))
 	}
-	cs := &w.coll[root]
+	cs := w.collOf(root)
 	tag := w.gatherTag()
 	if me == root {
 		// Wait for P-1 remote words; values arrive tagged with the sender
@@ -97,7 +97,7 @@ func (p *Proc) AllToAll(vals []uint64) []uint64 {
 	received[me] = true
 	need := P - 1
 	tag := w.allToAllTag()
-	cs := &w.coll[me]
+	cs := w.collOf(me)
 	for dst := 0; dst < P; dst++ {
 		if dst == me {
 			continue

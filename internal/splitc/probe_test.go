@@ -1,0 +1,189 @@
+package splitc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// probe: isolate cross-runtime divergence. Rounds of reads from hashed
+// partners, no collectives.
+func probeMix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func probePartner(me, r, p int) int {
+	q := int(probeMix(uint64(me)<<20+uint64(r)+1) % uint64(p))
+	if q == me && p > 1 {
+		q = (q + 1) % p
+	}
+	return q
+}
+
+const probeRounds = 8
+
+type probeTask struct {
+	pc      int
+	r       int
+	charged bool
+	slot    GPtr
+	acc     uint64
+}
+
+func (k *probeTask) Step(t *TProc) (sim.PollableWait, bool) {
+	me, P := t.ID(), t.P()
+	for {
+		switch k.pc {
+		case 0:
+			k.slot = t.Alloc(1)
+			t.WriteWordT(k.slot, probeMix(uint64(me)))
+			k.pc = 1
+		case 1:
+			if wt := t.BarrierT(); wt != nil {
+				return wt, false
+			}
+			k.pc = 2
+		case 2:
+			for k.r < probeRounds {
+				q := probePartner(me, k.r, P)
+				if !k.charged {
+					t.ComputeUs(0.40)
+					k.charged = true
+				}
+				v, wt := t.ReadWordT(GPtr{Proc: int32(q), Off: k.slot.Off})
+				if wt != nil {
+					return wt, false
+				}
+				k.acc += v
+				t.ComputeUs(0.20)
+				k.charged = false
+				k.r++
+			}
+			return nil, true
+		}
+	}
+}
+
+func TestProbeReads(t *testing.T) {
+	P := 32
+	wb := twinWorld(t, P)
+	if err := wb.Run(func(p *Proc) {
+		me := p.ID()
+		slot := p.Alloc(1)
+		p.WriteWord(slot, probeMix(uint64(me)))
+		p.Barrier()
+		var acc uint64
+		for r := 0; r < probeRounds; r++ {
+			q := probePartner(me, r, P)
+			p.ComputeUs(0.40)
+			acc += p.ReadWord(GPtr{Proc: int32(q), Off: slot.Off})
+			p.ComputeUs(0.20)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wc := twinWorld(t, P)
+	if err := wc.RunTasks(func(id int) Task { return &probeTask{} }); err != nil {
+		t.Fatal(err)
+	}
+	if wb.Elapsed() != wc.Elapsed() {
+		t.Errorf("reads: blocking %v, continuation %v", wb.Elapsed(), wc.Elapsed())
+	}
+	if sb, sc := wb.Stats().TotalSent(), wc.Stats().TotalSent(); sb != sc {
+		t.Errorf("reads: blocking sent %d, continuation %d", sb, sc)
+	}
+}
+
+// probe 2: ScanAdd alone.
+type probeScanTask struct {
+	pc  int
+	out uint64
+}
+
+func (k *probeScanTask) Step(t *TProc) (sim.PollableWait, bool) {
+	for {
+		switch k.pc {
+		case 0:
+			v, wt := t.ScanAddT(uint64(t.ID() + 1))
+			if wt != nil {
+				return wt, false
+			}
+			k.out = v
+			k.pc = 1
+		case 1:
+			if wt := t.BarrierT(); wt != nil {
+				return wt, false
+			}
+			k.pc = 2
+		case 2:
+			v, wt := t.ScanAddT(uint64(t.ID() + 2))
+			if wt != nil {
+				return wt, false
+			}
+			k.out += v
+			return nil, true
+		}
+	}
+}
+
+func TestProbeScan(t *testing.T) {
+	P := 32
+	wb := twinWorld(t, P)
+	if err := wb.Run(func(p *Proc) {
+		p.ScanAdd(uint64(p.ID() + 1))
+		p.Barrier()
+		p.ScanAdd(uint64(p.ID() + 2))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wc := twinWorld(t, P)
+	if err := wc.RunTasks(func(id int) Task { return &probeScanTask{} }); err != nil {
+		t.Fatal(err)
+	}
+	if wb.Elapsed() != wc.Elapsed() {
+		t.Errorf("scan: blocking %v, continuation %v", wb.Elapsed(), wc.Elapsed())
+	}
+}
+
+// probe 3: Broadcast from P-1.
+type probeBcastTask struct {
+	pc  int
+	out uint64
+}
+
+func (k *probeBcastTask) Step(t *TProc) (sim.PollableWait, bool) {
+	for {
+		switch k.pc {
+		case 0:
+			v, wt := t.BroadcastT(t.P()-1, 99)
+			if wt != nil {
+				return wt, false
+			}
+			k.out = v
+			k.pc = 1
+		case 1:
+			return nil, true
+		}
+	}
+}
+
+func TestProbeBcast(t *testing.T) {
+	P := 32
+	wb := twinWorld(t, P)
+	if err := wb.Run(func(p *Proc) {
+		p.Broadcast(P-1, 99)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wc := twinWorld(t, P)
+	if err := wc.RunTasks(func(id int) Task { return &probeBcastTask{} }); err != nil {
+		t.Fatal(err)
+	}
+	if wb.Elapsed() != wc.Elapsed() {
+		t.Errorf("bcast: blocking %v, continuation %v", wb.Elapsed(), wc.Elapsed())
+	}
+}

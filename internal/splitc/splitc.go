@@ -44,6 +44,23 @@ type World struct {
 	// phases accumulates per-label processor time (see phase.go).
 	phases phaseAccount
 
+	// Continuation-runtime state (see cont.go): tp holds one TProc per
+	// processor during RunTasks, and the h* fields are the per-world
+	// handler set, created once so the steady-state send paths allocate
+	// no closures.
+	tp           []*TProc
+	hWrite       am.Handler
+	hBarrier     am.Handler
+	hColl        am.Handler
+	hReply       am.Handler
+	hReadReq     am.Handler
+	hFetchAdd    am.Handler
+	hTryLock     am.Handler
+	hCAS         am.Handler
+	hBulkGetReq  am.Handler
+	hBulkPut     am.BulkHandler
+	hBulkGetRep  am.BulkHandler
+
 	// attached holds every hook set attached via Attach, in order; sync
 	// is the subset that also wants barrier/lock region events.
 	attached []am.Hooks
@@ -107,14 +124,33 @@ func NewWorldLimit(p int, params logp.Params, seed int64, limit sim.Time) (*Worl
 	}
 	w := &World{eng: eng, m: m}
 	w.mem = make([][]uint64, p)
-	rounds := logRounds(p)
 	w.barrier = make([]barrierState, p)
 	w.coll = make([]collState, p)
-	for i := range w.barrier {
-		w.barrier[i].recvCount = make([]int64, rounds)
-		w.coll[i].vals = make([][]uint64, 4*rounds+2) // reduce, ar-bcast, bcast, scan, gather, all-to-all tags
-	}
 	return w, nil
+}
+
+// barrierOf returns processor id's barrier state, allocating its round
+// counters on first touch. Lazy so that a million-processor world pays
+// for synchronization state only on processors that synchronize; the
+// allocation happens outside virtual time, so laziness cannot perturb a
+// schedule.
+func (w *World) barrierOf(id int) *barrierState {
+	bs := &w.barrier[id]
+	if bs.recvCount == nil {
+		bs.recvCount = make([]int64, logRounds(w.P()))
+	}
+	return bs
+}
+
+// collOf returns processor id's collective operand queues, allocating
+// the tag table on first touch (reduce, ar-bcast, bcast, scan, gather,
+// all-to-all tags). Same laziness rationale as barrierOf.
+func (w *World) collOf(id int) *collState {
+	cs := &w.coll[id]
+	if cs.vals == nil {
+		cs.vals = make([][]uint64, 4*logRounds(w.P())+2)
+	}
+	return cs
 }
 
 // logRounds returns ⌈log2 p⌉ (and ≥1 so P=1 still has state).

@@ -27,14 +27,14 @@ func (p *Proc) Barrier() {
 		p.syncExit(RegionBarrier)
 		return
 	}
-	bs := &w.barrier[me]
+	bs := w.barrierOf(me)
 	bs.episodes++
 	target := bs.episodes
 	for r := 0; 1<<r < P; r++ {
 		dst := (me + 1<<r) % P
 		round := uint64(r)
 		p.ep.Request(dst, am.ClassSync, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
-			w.barrier[ep.ID()].recvCount[a[0]]++
+			w.barrierOf(ep.ID()).recvCount[a[0]]++
 		}, am.Args{round})
 		rr := r
 		p.ep.WaitUntilFor(am.WaitBarrier, func() bool { return bs.recvCount[rr] >= target }, "splitc: barrier")
@@ -56,14 +56,14 @@ func (w *World) bcastTag(r int) int   { return 2*logRounds(w.P()) + r }
 func (p *Proc) sendColl(dst, tag int, val uint64) {
 	w := p.w
 	p.ep.Request(dst, am.ClassSync, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
-		cs := &w.coll[ep.ID()]
+		cs := w.collOf(ep.ID())
 		cs.vals[a[0]] = append(cs.vals[a[0]], a[1])
 	}, am.Args{uint64(tag), val})
 }
 
 // recvColl blocks until a value under tag is available and pops it.
 func (p *Proc) recvColl(tag int) uint64 {
-	cs := &p.w.coll[p.ID()]
+	cs := p.w.collOf(p.ID())
 	p.ep.WaitUntilFor(am.WaitBarrier, func() bool { return len(cs.vals[tag]) > 0 }, "splitc: collective recv")
 	v := cs.vals[tag][0]
 	cs.vals[tag] = cs.vals[tag][1:]

@@ -197,9 +197,11 @@ func Calibrate(params Params) (Calibration, error) { return calib.Calibrate(para
 // order.
 func Suite() []App { return suite.All() }
 
-// AppByName finds a suite application by its short name (for example
-// "radix", "em3d-read", "nowsort").
-func AppByName(name string) (App, error) { return suite.ByName(name) }
+// AppByName finds an application by its short name: the paper suite
+// (for example "radix", "em3d-read", "nowsort") first, then the
+// weak-scaling kernels ("scale-radix", "scale-em3d", "scale-pray" and
+// their "-blk" coroutine twins).
+func AppByName(name string) (App, error) { return exp.ResolveApp(name) }
 
 // Experiments lists every table/figure experiment in paper order.
 func Experiments() []Experiment { return exp.Registry() }
