@@ -374,6 +374,8 @@ func (ep *Endpoint) checkRequestContext(op string) {
 // processor has handed it to the NIC (the message itself is in flight).
 // It stalls first, spin-polling, if the outstanding-request window to dst
 // is full.
+//
+//repro:hotpath
 func (ep *Endpoint) Request(dst int, class Class, h Handler, args Args) {
 	ep.checkRequestContext("Request")
 	if h == nil {
@@ -393,6 +395,8 @@ func (ep *Endpoint) Request(dst int, class Class, h Handler, args Args) {
 // Reply answers the request identified by tok with a short active message.
 // Replies bypass the window (they can always be injected) and are legal
 // from handler context; each request may be answered at most once.
+//
+//repro:hotpath
 func (ep *Endpoint) Reply(tok *Token, h Handler, args Args) {
 	if tok == nil || tok.IsReply {
 		panic("am: Reply requires a request token")
@@ -416,6 +420,8 @@ func (ep *Endpoint) Reply(tok *Token, h Handler, args Args) {
 // Store counts as one bulk message (the paper's "Active Message bulk
 // transfer mechanism"); larger transfers are loops of Stores — see
 // StoreLarge.
+//
+//repro:hotpath
 func (ep *Endpoint) Store(dst int, class Class, h BulkHandler, args Args, data []byte) {
 	ep.checkRequestContext("Store")
 	if h == nil {
@@ -432,6 +438,7 @@ func (ep *Endpoint) Store(dst int, class Class, h BulkHandler, args Args, data [
 	ep.outstanding.inc(dst)
 	// The payload is copied into a fresh buffer because ownership of the
 	// bytes transfers to the receiving handler; only the record is pooled.
+	//lint:allow hotpathalloc bulk payload copy is the transfer semantics; the zero-alloc property covers short messages
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	msg := ep.m.getMsg()
@@ -488,6 +495,8 @@ func (ep *Endpoint) StoreLarge(dst int, class Class, h BulkHandler, args Args, d
 // The spin loop is WaitUntilFor's, open-coded: window stalls are part of
 // the steady-state send path, and a capturing condition closure would be
 // a heap allocation per stall.
+//
+//repro:hotpath
 func (ep *Endpoint) waitWindow(dst int) {
 	w := ep.params().Window
 	if ep.outstanding.get(dst) < w {
@@ -524,6 +533,8 @@ func (ep *Endpoint) waitWindow(dst int) {
 
 // chargeSend charges the host-side send overhead (o_send plus the
 // experiment's added overhead).
+//
+//repro:hotpath
 func (ep *Endpoint) chargeSend() {
 	from := ep.proc.Clock()
 	o := ep.params().EffOSend()
@@ -535,6 +546,8 @@ func (ep *Endpoint) chargeSend() {
 
 // injectShort reserves the NIC transmit context for a short message and
 // returns the injection time.
+//
+//repro:hotpath
 func (ep *Endpoint) injectShort() sim.Time {
 	p := ep.params()
 	inject := ep.proc.Clock()
@@ -552,6 +565,8 @@ func (ep *Endpoint) injectShort() sim.Time {
 // injection the transmit context stalls for the fragment's DMA time
 // (G·size) in addition to the gap — the paper's bulk-Gap knob. The receive
 // context is unaffected (the LANai's dual hardware contexts).
+//
+//repro:hotpath
 func (ep *Endpoint) injectBulk(n int) sim.Time {
 	p := ep.params()
 	inject := ep.proc.Clock()
@@ -571,6 +586,8 @@ func (ep *Endpoint) injectBulk(n int) sim.Time {
 // it for retransmission) or directly to the wire. Every host-initiated
 // send — short or bulk, request or reply — passes through here exactly
 // once; retransmissions re-enter at putOnWire.
+//
+//repro:hotpath
 func (ep *Endpoint) launch(msg *message) {
 	p := ep.params()
 	bulk := msg.kind == kindBulk || msg.kind == kindBulkReply
@@ -595,6 +612,8 @@ func (ep *Endpoint) launch(msg *message) {
 // putOnWire performs one physical transmission of msg: the fault injector
 // (if any) may drop it, duplicate it, or add wire delay; whatever survives
 // is scheduled to arrive. retrans marks reliability-layer retransmissions.
+//
+//repro:hotpath
 func (m *Machine) putOnWire(msg *message, inject, arrival sim.Time, retrans bool) {
 	if f := m.faults; f != nil {
 		bulk := msg.kind == kindBulk || msg.kind == kindBulkReply
@@ -626,9 +645,12 @@ func (m *Machine) putOnWire(msg *message, inject, arrival sim.Time, retrans bool
 // the reliability layer off, a reply frees its window credit at arrival
 // (the NIC manages credits, so the host need not have polled yet); with
 // it on, the receiving NIC's protocol state decides what to deliver.
+//
+//repro:hotpath
 func (m *Machine) scheduleArrival(msg *message, at sim.Time) {
 	dst := m.eps[msg.dst]
 	if dst.rel != nil {
+		//lint:allow hotpathalloc reliability-layer arrival closure; pooling is off with the layer on, the lossless path below is the zero-alloc one
 		m.eng.ScheduleAt(at, func() { dst.rel.arrive(dst, msg, at) })
 		return
 	}
@@ -639,6 +661,8 @@ func (m *Machine) scheduleArrival(msg *message, at sim.Time) {
 // at the requester. It costs the hosts nothing (the LANai handles it) and,
 // like replies, bypasses the transmit gap (acks piggyback). The credit
 // rides a pooled record through the zero-alloc event path.
+//
+//repro:hotpath
 func (m *Machine) returnCredit(requester, responder int, at sim.Time) {
 	msg := m.getMsg()
 	msg.kind, msg.src, msg.dst = kindCredit, requester, responder
@@ -647,6 +671,8 @@ func (m *Machine) returnCredit(requester, responder int, at sim.Time) {
 
 // pushInbox appends an arrived message, compacting consumed space first
 // when it dominates the queue.
+//
+//repro:hotpath
 func (ep *Endpoint) pushInbox(msg *message) {
 	if ep.inboxHead > 64 && ep.inboxHead*2 > len(ep.inbox) {
 		n := copy(ep.inbox, ep.inbox[ep.inboxHead:])
@@ -656,10 +682,13 @@ func (ep *Endpoint) pushInbox(msg *message) {
 		ep.inbox = ep.inbox[:n]
 		ep.inboxHead = 0
 	}
+	//lint:allow hotpathalloc amortized inbox growth; the slice reaches its high-water mark during warmup
 	ep.inbox = append(ep.inbox, msg)
 }
 
 // peekInbox returns the oldest unpolled message, or nil.
+//
+//repro:hotpath
 func (ep *Endpoint) peekInbox() *message {
 	if ep.inboxHead >= len(ep.inbox) {
 		return nil
@@ -667,6 +696,7 @@ func (ep *Endpoint) peekInbox() *message {
 	return ep.inbox[ep.inboxHead]
 }
 
+//repro:hotpath
 func (ep *Endpoint) popInbox() *message {
 	msg := ep.inbox[ep.inboxHead]
 	ep.inbox[ep.inboxHead] = nil
@@ -681,6 +711,8 @@ func (ep *Endpoint) popInbox() *message {
 // Poll processes every message that has arrived by the processor's current
 // time, charging o_recv (plus added overhead) per message and running its
 // handler. Poll is a scheduler checkpoint.
+//
+//repro:hotpath
 func (ep *Endpoint) Poll() {
 	if ep.inHandler {
 		panic("am: Poll called from a message handler")
@@ -701,6 +733,8 @@ func (ep *Endpoint) Poll() {
 // final stage: once the handler and the instrumentation have run, the
 // record is recycled — unless the reliability layer or a lossy fault
 // injector may still hold references to it (see pool.go).
+//
+//repro:hotpath
 func (ep *Endpoint) process(msg *message) {
 	from := ep.proc.Clock()
 	o := ep.params().EffORecv()
@@ -751,6 +785,8 @@ func (ep *Endpoint) TotalOutstanding() int {
 }
 
 // pollOne processes at most one due message, reporting whether it did.
+//
+//repro:hotpath
 func (ep *Endpoint) pollOne() bool {
 	msg := ep.peekInbox()
 	if msg == nil || msg.arrival > ep.proc.Clock() {

@@ -46,6 +46,8 @@ import (
 // sim.Yield before the first step and between steps so the poll
 // interleaves with slower processors exactly as the blocking Poll's
 // Checkpoints do.
+//
+//repro:hotpath
 func (ep *Endpoint) PollOneDue() bool {
 	if ep.inHandler {
 		panic("am: PollOneDue called from a message handler")
@@ -63,6 +65,8 @@ func (ep *Endpoint) PollOneDue() bool {
 
 // CanSend reports whether a request credit toward dst is free, i.e.
 // whether SendRequest/SendStore may be called without a window stall.
+//
+//repro:hotpath
 func (ep *Endpoint) CanSend(dst int) bool {
 	return ep.outstanding.get(dst) < ep.params().Window
 }
@@ -70,6 +74,8 @@ func (ep *Endpoint) CanSend(dst int) bool {
 // WindowWait returns the endpoint's reusable wait for a free request
 // credit toward dst. Park on it when CanSend is false; by the next
 // Resume call a credit is free.
+//
+//repro:hotpath
 func (ep *Endpoint) WindowWait(dst int) sim.PollableWait {
 	return ep.pw.set(waitModeWindow, nil, nil, 0, dst, ep.params().Window, "am: window stall")
 }
@@ -79,12 +85,16 @@ func (ep *Endpoint) WindowWait(dst int) sim.PollableWait {
 // received, barrier notifications, collective operands — so that a wait
 // constructed against a stale snapshot can only be satisfied early,
 // never missed. Closure-free: the record points at the counter directly.
+//
+//repro:hotpath
 func (ep *Endpoint) CounterWait(ctr *int64, target int64, reason string) sim.PollableWait {
 	return ep.pw.set(waitModeCounter, nil, ctr, target, 0, 0, reason)
 }
 
 // QuiesceWait returns the endpoint's reusable wait for all outstanding
 // requests to be acked — the continuation form of a store sync.
+//
+//repro:hotpath
 func (ep *Endpoint) QuiesceWait() sim.PollableWait {
 	return ep.pw.set(waitModeQuiesce, nil, nil, 0, 0, 0, "am: store sync")
 }
@@ -95,6 +105,8 @@ func (ep *Endpoint) QuiesceWait() sim.PollableWait {
 // if CanSend is false; calling
 // with a full window is a discipline violation and panics rather than
 // silently overrunning the capacity constraint.
+//
+//repro:hotpath
 func (ep *Endpoint) SendRequest(dst int, class Class, h Handler, args Args) {
 	ep.checkRequestContext("SendRequest")
 	if h == nil {
@@ -114,6 +126,8 @@ func (ep *Endpoint) SendRequest(dst int, class Class, h Handler, args Args) {
 // SendStore is the commit half of Store: one bulk fragment under the
 // window, no blocking. The same preamble discipline as SendRequest
 // applies. The data is copied at send time.
+//
+//repro:hotpath
 func (ep *Endpoint) SendStore(dst int, class Class, h BulkHandler, args Args, data []byte) {
 	ep.checkRequestContext("SendStore")
 	if h == nil {
@@ -128,6 +142,7 @@ func (ep *Endpoint) SendStore(dst int, class Class, h BulkHandler, args Args, da
 	}
 	ep.chargeSend()
 	ep.outstanding.inc(dst)
+	//lint:allow hotpathalloc bulk payload copy is the transfer semantics; the zero-alloc property covers short messages
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	msg := ep.m.getMsg()

@@ -32,6 +32,8 @@ import "repro/internal/sim"
 
 // getMsg returns a zeroed message record owned by the caller, reusing a
 // recycled one when available.
+//
+//repro:hotpath
 func (m *Machine) getMsg() *message {
 	if n := len(m.msgPool); n > 0 {
 		msg := m.msgPool[n-1]
@@ -39,14 +41,18 @@ func (m *Machine) getMsg() *message {
 		m.msgPool = m.msgPool[:n-1]
 		return msg
 	}
+	//lint:allow hotpathalloc pool-miss refill; steady state always hits the freelist above
 	return &message{m: m}
 }
 
 // putMsg recycles a record whose current stage is done with it. The
 // record is zeroed here (dropping handler, data, and header references)
 // so the pool never extends the lifetime of caller state.
+//
+//repro:hotpath
 func (m *Machine) putMsg(msg *message) {
 	*msg = message{m: m}
+	//lint:allow hotpathalloc amortized freelist growth; bounded by the in-flight high-water mark
 	m.msgPool = append(m.msgPool, msg)
 }
 
@@ -62,6 +68,8 @@ func (m *Machine) updatePooling() {
 // sim.EventFn, so scheduling a delivery allocates nothing. Replies free
 // their window credit here — at the NIC, before the host polls — exactly
 // as the closure-based path did.
+//
+//repro:hotpath
 func deliverEvent(arg any, at sim.Time) {
 	msg := arg.(*message)
 	dst := msg.m.eps[msg.dst]
@@ -76,6 +84,8 @@ func deliverEvent(arg any, at sim.Time) {
 // creditEvent is the firmware-level window-credit return: src gets one
 // request credit toward dst back. The record is a pooled kindCredit
 // message (src = requester, dst = responder) recycled in place.
+//
+//repro:hotpath
 func creditEvent(arg any, at sim.Time) {
 	msg := arg.(*message)
 	m := msg.m

@@ -36,6 +36,7 @@ func newWinCounts(p int) winCounts {
 	return winCounts{}
 }
 
+//repro:hotpath
 func (w *winCounts) get(dst int) int {
 	if w.dense != nil {
 		return int(w.dense[dst])
@@ -48,6 +49,7 @@ func (w *winCounts) get(dst int) int {
 	return 0
 }
 
+//repro:hotpath
 func (w *winCounts) inc(dst int) {
 	w.total++
 	if w.dense != nil {
@@ -60,9 +62,11 @@ func (w *winCounts) inc(dst int) {
 			return
 		}
 	}
+	//lint:allow hotpathalloc sparse live-entry growth; bounded by the handful of in-flight destinations
 	w.entries = append(w.entries, winEntry{dst: int32(dst), n: 1})
 }
 
+//repro:hotpath
 func (w *winCounts) dec(dst int) {
 	w.total--
 	if w.dense != nil {

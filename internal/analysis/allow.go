@@ -13,7 +13,10 @@ import (
 // suppresses that analyzer's diagnostics on the same line (trailing
 // comment) or on the line immediately below (comment on its own line).
 // The reason is mandatory — an allow without a justification is itself
-// reported as a finding, as is an allow naming an unknown analyzer.
+// reported as a finding, as is an allow naming an unknown analyzer, and
+// so is a directive that no longer suppresses anything (stale directives
+// would otherwise accumulate silently and mask future regressions at
+// their line).
 
 const allowPrefix = "//lint:allow"
 
@@ -24,7 +27,11 @@ type allowKey struct {
 }
 
 type allowSet struct {
-	keys map[allowKey]bool
+	// keys maps each well-formed directive to its position, for the
+	// stale-directive report.
+	keys map[allowKey]token.Position
+	// used marks directives that suppressed at least one diagnostic.
+	used map[allowKey]bool
 }
 
 // collectAllows scans a package's comments for allow directives.
@@ -32,7 +39,7 @@ type allowSet struct {
 // pseudo-analyzer "lintdirective" so they cannot silently disable a
 // real check.
 func collectAllows(pkg *Package, known map[string]bool) (*allowSet, []Finding) {
-	as := &allowSet{keys: map[allowKey]bool{}}
+	as := &allowSet{keys: map[allowKey]token.Position{}, used: map[allowKey]bool{}}
 	var bad []Finding
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -59,7 +66,7 @@ func collectAllows(pkg *Package, known map[string]bool) (*allowSet, []Finding) {
 					})
 					continue
 				}
-				as.keys[allowKey{pos.Filename, fields[0], pos.Line}] = true
+				as.keys[allowKey{pos.Filename, fields[0], pos.Line}] = pos
 			}
 		}
 	}
@@ -67,10 +74,37 @@ func collectAllows(pkg *Package, known map[string]bool) (*allowSet, []Finding) {
 }
 
 // allowed reports whether a diagnostic by analyzer at pos is covered by
-// a directive on its line or the line above.
+// a directive on its line or the line above, marking the covering
+// directive as used.
 func (as *allowSet) allowed(analyzer string, pos token.Position) bool {
-	return as.keys[allowKey{pos.Filename, analyzer, pos.Line}] ||
-		as.keys[allowKey{pos.Filename, analyzer, pos.Line - 1}]
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		k := allowKey{pos.Filename, analyzer, line}
+		if _, ok := as.keys[k]; ok {
+			as.used[k] = true
+			return true
+		}
+	}
+	return false
+}
+
+// unused returns a lintdirective finding for every well-formed directive
+// that suppressed nothing, in position order. Call after every analyzer
+// in the run has reported.
+func (as *allowSet) unused() []Finding {
+	var out []Finding
+	for k, pos := range as.keys {
+		if as.used[k] {
+			continue
+		}
+		//lint:allow maporder the collected findings are position-sorted before return
+		out = append(out, Finding{
+			Analyzer: "lintdirective",
+			Pos:      pos,
+			Message:  "//lint:allow " + k.analyzer + " suppresses nothing (stale directive)",
+		})
+	}
+	sortFindings(out)
+	return out
 }
 
 func knownNames(known map[string]bool) string {

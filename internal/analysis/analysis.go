@@ -62,6 +62,9 @@ func All() []*Analyzer {
 		NoGlobalMut,
 		MapOrder,
 		GoroutineFree,
+		HotPathAlloc,
+		ContSafe,
+		ChargeTwin,
 	}
 }
 

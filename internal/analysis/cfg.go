@@ -1,0 +1,376 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A function-level control-flow graph over the AST, the substrate the
+// dataflow analyzers (hotpathalloc, contsafe) share. Each cfgBlock is a
+// straight-line run of leaf statements and control expressions; compound
+// statements contribute their conditions to the block that evaluates
+// them and their bodies to successor blocks. The graph is intentionally
+// small: intraprocedural, no exceptional edges beyond panic termination,
+// which is exactly what reachability ("is this allocation on the
+// steady-state path or behind an unconditional panic?") and forward
+// taint propagation ("does a clock read flow into persistent state?")
+// need.
+type cfgBlock struct {
+	// nodes holds, in source order, the leaf statements executed in this
+	// block plus the control expressions evaluated here (if/switch
+	// conditions, range operands, case expressions). Nested bodies live
+	// in successor blocks, so walking nodes never revisits a statement.
+	nodes []ast.Node
+	succs []*cfgBlock
+	// panics marks a block whose straight-line run ends in an
+	// unconditional panic: everything in it executes only on the way to
+	// that panic, so it is off the steady-state path by construction.
+	panics bool
+}
+
+type funcCFG struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+}
+
+// reachable returns the blocks reachable from entry, in a deterministic
+// (construction) order.
+func (c *funcCFG) reachable() []*cfgBlock {
+	seen := map[*cfgBlock]bool{c.entry: true}
+	work := []*cfgBlock{c.entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, s := range b.succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	var out []*cfgBlock
+	for _, b := range c.blocks {
+		if seen[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// cfgCtx carries the targets a branch statement resolves against.
+type cfgCtx struct {
+	brk, cont *cfgBlock
+	// labels maps an enclosing statement label to the break/continue
+	// targets of the loop or switch it labels.
+	labels map[string]*cfgLabel
+}
+
+type cfgLabel struct {
+	brk, cont *cfgBlock
+}
+
+func (ctx cfgCtx) withLoop(brk, cont *cfgBlock, label string) cfgCtx {
+	out := ctx
+	out.brk, out.cont = brk, cont
+	if label != "" {
+		out.labels = copyLabels(ctx.labels)
+		out.labels[label] = &cfgLabel{brk: brk, cont: cont}
+	}
+	return out
+}
+
+func copyLabels(in map[string]*cfgLabel) map[string]*cfgLabel {
+	out := make(map[string]*cfgLabel, len(in)+1)
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+type cfgBuilder struct {
+	blocks []*cfgBlock
+	// gotoTargets maps a label to the block starting at the labeled
+	// statement; pending gotos link against it once the whole body is
+	// built (forward gotos included).
+	gotoTargets map[string]*cfgBlock
+	pendingGoto []pendingGoto
+}
+
+type pendingGoto struct {
+	from  *cfgBlock
+	label string
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{gotoTargets: map[string]*cfgBlock{}}
+	entry := b.newBlock()
+	b.stmtList(entry, body.List, cfgCtx{})
+	for _, g := range b.pendingGoto {
+		if t := b.gotoTargets[g.label]; t != nil {
+			g.from.succs = append(g.from.succs, t)
+		}
+	}
+	return &funcCFG{entry: entry, blocks: b.blocks}
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// stmtList threads a statement list through cur, returning the block
+// holding control afterwards (nil when control cannot fall through:
+// return, branch, or unconditional panic).
+func (b *cfgBuilder) stmtList(cur *cfgBlock, list []ast.Stmt, ctx cfgCtx) *cfgBlock {
+	for _, s := range list {
+		if cur == nil {
+			// Dead code after a terminator still gets blocks so its
+			// nodes exist in the graph, but nothing links to them.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s, ctx, "")
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt, ctx cfgCtx, label string) *cfgBlock {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List, ctx)
+
+	case *ast.LabeledStmt:
+		start := b.newBlock()
+		cur.succs = append(cur.succs, start)
+		b.gotoTargets[s.Label.Name] = start
+		return b.stmt(start, s.Stmt, ctx, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		then := b.newBlock()
+		cur.succs = append(cur.succs, then)
+		tOut := b.stmtList(then, s.Body.List, ctx)
+		var eOut *cfgBlock
+		if s.Else != nil {
+			els := b.newBlock()
+			cur.succs = append(cur.succs, els)
+			eOut = b.stmt(els, s.Else, ctx, "")
+		} else {
+			eOut = cur // fallthrough edge from the condition itself
+		}
+		if tOut == nil && (s.Else != nil && eOut == nil) {
+			return nil
+		}
+		join := b.newBlock()
+		if tOut != nil {
+			tOut.succs = append(tOut.succs, join)
+		}
+		if eOut != nil {
+			eOut.succs = append(eOut.succs, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		head := b.newBlock()
+		cur.succs = append(cur.succs, head)
+		after := b.newBlock()
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+			head.succs = append(head.succs, after)
+		}
+		body := b.newBlock()
+		head.succs = append(head.succs, body)
+		cont := head
+		var post *cfgBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			post.succs = append(post.succs, head)
+			cont = post
+		}
+		out := b.stmtList(body, s.Body.List, ctx.withLoop(after, cont, label))
+		if out != nil {
+			out.succs = append(out.succs, cont)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		cur.nodes = append(cur.nodes, s.X)
+		cur.succs = append(cur.succs, head)
+		if s.Key != nil {
+			head.nodes = append(head.nodes, s.Key)
+		}
+		if s.Value != nil {
+			head.nodes = append(head.nodes, s.Value)
+		}
+		after := b.newBlock()
+		head.succs = append(head.succs, after)
+		body := b.newBlock()
+		head.succs = append(head.succs, body)
+		out := b.stmtList(body, s.Body.List, ctx.withLoop(after, head, label))
+		if out != nil {
+			out.succs = append(out.succs, head)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.nodes = append(cur.nodes, s.Tag)
+		}
+		return b.switchBody(cur, s.Body.List, ctx, label)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Assign)
+		return b.switchBody(cur, s.Body.List, ctx, label)
+
+	case *ast.SelectStmt:
+		join := b.newBlock()
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock()
+			cur.succs = append(cur.succs, cb)
+			if cc.Comm != nil {
+				cb.nodes = append(cb.nodes, cc.Comm)
+			}
+			if out := b.stmtList(cb, cc.Body, ctx.withLoop(join, ctx.cont, label)); out != nil {
+				out.succs = append(out.succs, join)
+			}
+		}
+		return join
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.nodes = append(cur.nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			t := ctx.brk
+			if s.Label != nil {
+				if l := ctx.labels[s.Label.Name]; l != nil {
+					t = l.brk
+				}
+			}
+			if t != nil {
+				cur.succs = append(cur.succs, t)
+			}
+		case token.CONTINUE:
+			t := ctx.cont
+			if s.Label != nil {
+				if l := ctx.labels[s.Label.Name]; l != nil {
+					t = l.cont
+				}
+			}
+			if t != nil {
+				cur.succs = append(cur.succs, t)
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				b.pendingGoto = append(b.pendingGoto, pendingGoto{cur, s.Label.Name})
+			}
+		}
+		// fallthrough is resolved by switchBody.
+		return nil
+
+	case *ast.ExprStmt:
+		cur.nodes = append(cur.nodes, s)
+		if isPanicCall(s.X) {
+			cur.panics = true
+			return nil
+		}
+		return cur
+
+	default:
+		// Assignments, declarations, incdec, send, defer, go, empty.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// switchBody wires case clauses: every clause is a successor of the
+// dispatching block; a missing default adds a direct edge to the join.
+func (b *cfgBuilder) switchBody(cur *cfgBlock, clauses []ast.Stmt, ctx cfgCtx, label string) *cfgBlock {
+	join := b.newBlock()
+	caseBlocks := make([]*cfgBlock, len(clauses))
+	for i := range clauses {
+		caseBlocks[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		cb := caseBlocks[i]
+		cur.succs = append(cur.succs, cb)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			cb.nodes = append(cb.nodes, e)
+		}
+		body := cc.Body
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		out := b.stmtList(cb, body, ctx.withLoop(join, ctx.cont, label))
+		if out != nil {
+			if fallsThrough && i+1 < len(clauses) {
+				out.succs = append(out.succs, caseBlocks[i+1])
+			} else {
+				out.succs = append(out.succs, join)
+			}
+		}
+	}
+	if !hasDefault {
+		cur.succs = append(cur.succs, join)
+	}
+	return join
+}
+
+// isPanicCall reports whether e is a direct call to the panic builtin.
+// Name-based: shadowing panic would defeat it, and nothing in this
+// repository does.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// hotpathDirective marks a function whose steady-state path must not
+// allocate (see hotpathalloc.go).
+const hotpathDirective = "//repro:hotpath"
+
+// isHotPath reports whether fd carries the //repro:hotpath directive in
+// its doc comment.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotpathDirective || len(c.Text) > len(hotpathDirective) &&
+			c.Text[:len(hotpathDirective)+1] == hotpathDirective+" " {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestChargeTwin(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.ChargeTwin,
+		// Fixture paths end in the scoped segments.
+		"chargetwin/internal/splitc",        // primitive twins (M ↔ MT)
+		"chargetwin/internal/apps/scalekern", // kernel twins (xBody ↔ xTask.Step)
+	)
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestContSafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.ContSafe,
+		// The fixture path ends in internal/splitc to land in scope.
+		"contsafe/internal/splitc",
+	)
+}

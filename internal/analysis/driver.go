@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"sync"
 )
 
 // A Finding is one unsuppressed diagnostic, resolved to a position.
@@ -53,17 +54,74 @@ func (r *Report) Counts(analyzers []*Analyzer) []string {
 // applies every analyzer, returning findings that no //lint:allow
 // directive covers, sorted by position.
 func Run(dir string, patterns []string, analyzers []*Analyzer) (*Report, error) {
-	pkgs, err := Load(dir, patterns...)
+	return RunJobs(dir, patterns, analyzers, 1)
+}
+
+// RunJobs is Run with the loading and checking spread over a bounded
+// worker pool. Each worker owns a private loader over a contiguous chunk
+// of the matched directories — the loader's module-internal import cache
+// is mutable (the external-test override dance purges entries) and not
+// safe to share — so workers re-check module-internal dependencies
+// independently. Standard-library imports resolve through one shared
+// concurrency-safe cache, so the stdlib is parsed and checked once per
+// run rather than once per worker. Findings are position-sorted after
+// the merge; the report is byte-identical at any jobs value.
+func RunJobs(dir string, patterns []string, analyzers []*Analyzer, jobs int) (*Report, error) {
+	root, modPath, err := FindModule(dir)
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{Packages: len(pkgs)}
-	for _, pkg := range pkgs {
-		fs, err := analyzePackage(pkg, analyzers)
-		if err != nil {
-			return nil, err
+	dirs, err := expandPatterns(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(dirs) {
+		jobs = len(dirs)
+	}
+	type result struct {
+		findings []Finding
+		packages int
+		err      error
+	}
+	results := make([]result, jobs)
+	shared := newSharedImports()
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		lo, hi := w*len(dirs)/jobs, (w+1)*len(dirs)/jobs
+		wg.Add(1)
+		go func(res *result, chunk []string) {
+			defer wg.Done()
+			ld := newLoader(root, modPath)
+			ld.shared = shared
+			for _, d := range chunk {
+				pkgs, err := ld.checkDir(d)
+				if err != nil {
+					res.err = err
+					return
+				}
+				for _, pkg := range pkgs {
+					fs, err := analyzePackage(pkg, analyzers)
+					if err != nil {
+						res.err = err
+						return
+					}
+					res.findings = append(res.findings, fs...)
+					res.packages++
+				}
+			}
+		}(&results[w], dirs[lo:hi])
+	}
+	wg.Wait()
+	rep := &Report{}
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
 		}
-		rep.Findings = append(rep.Findings, fs...)
+		rep.Findings = append(rep.Findings, results[i].findings...)
+		rep.Packages += results[i].packages
 	}
 	sortFindings(rep.Findings)
 	return rep, nil
@@ -96,6 +154,9 @@ func analyzePackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 		}
 	}
+	// Every analyzer has reported; directives that suppressed nothing
+	// are stale and become findings themselves.
+	findings = append(findings, allows.unused()...)
 	return findings, nil
 }
 

@@ -102,6 +102,138 @@ func Stamp2() time.Time { return time.Now() }
 	}
 }
 
+// TestStaleDirectiveIsAFinding: a well-formed directive that suppresses
+// nothing is itself reported, so dead allowlist entries cannot
+// accumulate and mask future regressions at their line.
+func TestStaleDirectiveIsAFinding(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sample\n\ngo 1.22\n",
+		"internal/sim/clock.go": `package sim
+
+//lint:allow simwallclock nothing on this line reads the wall clock
+func Stamp() int64 { return 42 }
+`,
+	})
+	rep, err := analysis.Run(dir, []string{"./..."}, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Analyzer != "lintdirective" {
+		t.Fatalf("want exactly 1 lintdirective finding, got %v", rep.Findings)
+	}
+	if !strings.Contains(rep.Findings[0].Message, "suppresses nothing") {
+		t.Errorf("stale directive message should say so: %s", rep.Findings[0].Message)
+	}
+}
+
+// TestMutationHotPathAlloc is the hot-path mutation check: injecting an
+// allocation into a //repro:hotpath function produces a hotpathalloc
+// finding, which makes cmd/reprolint exit 1.
+func TestMutationHotPathAlloc(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sample\n\ngo 1.22\n",
+		"internal/sim/heap.go": `package sim
+
+type heap struct{ a []int }
+
+//repro:hotpath
+func (h *heap) pop() int {
+	scratch := make([]int, 1) // injected allocation
+	v := h.a[len(h.a)-1]
+	h.a = h.a[:len(h.a)-1]
+	return v + scratch[0]
+}
+`,
+	})
+	rep, err := analysis.Run(dir, []string{"./..."}, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Analyzer != "hotpathalloc" {
+		t.Fatalf("want exactly 1 hotpathalloc finding, got %v", rep.Findings)
+	}
+	if !strings.Contains(rep.Findings[0].Message, "make allocates") {
+		t.Errorf("finding should name the injected make: %s", rep.Findings[0].Message)
+	}
+}
+
+// TestMutationChargeTwinDivergence is the twin mutation check: doubling
+// a continuation kernel's compute charge relative to its blocking twin
+// produces a chargetwin finding, which makes cmd/reprolint exit 1.
+func TestMutationChargeTwinDivergence(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sample\n\ngo 1.22\n",
+		"internal/apps/scalekern/kern.go": `package scalekern
+
+type Proc struct{}
+
+func (p *Proc) ComputeUs(us float64)  { _ = us }
+func (p *Proc) ComputeUsT(us float64) { _ = us }
+func (p *Proc) Barrier()              {}
+func (p *Proc) BarrierT()             {}
+
+func radixBody(p *Proc, n int) {
+	_ = n
+	p.ComputeUs(0.4)
+	p.Barrier()
+}
+
+type radixTask struct{ pc int }
+
+func (t *radixTask) Step(p *Proc) {
+	p.ComputeUsT(0.8) // injected divergence: double charge
+	p.BarrierT()
+}
+`,
+	})
+	rep, err := analysis.Run(dir, []string{"./..."}, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Analyzer != "chargetwin" {
+		t.Fatalf("want exactly 1 chargetwin finding, got %v", rep.Findings)
+	}
+	if !strings.Contains(rep.Findings[0].Message, "diverges from blocking twin radixBody") {
+		t.Errorf("finding should name the blocking twin: %s", rep.Findings[0].Message)
+	}
+}
+
+// TestRunJobsMatchesSequential pins the parallel driver's determinism:
+// the merged, sorted report is identical at any worker count.
+func TestRunJobsMatchesSequential(t *testing.T) {
+	files := map[string]string{"go.mod": "module sample\n\ngo 1.22\n"}
+	for _, p := range []string{"a", "b", "c", "d"} {
+		files["internal/sim/"+p+"/"+p+".go"] = `package ` + p + `
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`
+	}
+	dir := writeModule(t, files)
+	seq, err := analysis.Run(dir, []string{"./..."}, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 3, 8} {
+		par, err := analysis.RunJobs(dir, []string{"./..."}, analysis.All(), jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Packages != seq.Packages {
+			t.Errorf("jobs=%d: %d packages, sequential saw %d", jobs, par.Packages, seq.Packages)
+		}
+		if len(par.Findings) != len(seq.Findings) {
+			t.Fatalf("jobs=%d: %d findings, sequential saw %d", jobs, len(par.Findings), len(seq.Findings))
+		}
+		for i := range par.Findings {
+			if par.Findings[i] != seq.Findings[i] {
+				t.Errorf("jobs=%d: finding %d differs: %v vs %v", jobs, i, par.Findings[i], seq.Findings[i])
+			}
+		}
+	}
+}
+
 // TestScopeMatching pins the segment semantics the scoped analyzers
 // rely on: prefixes match whole path segments, not substrings.
 func TestScopeMatching(t *testing.T) {

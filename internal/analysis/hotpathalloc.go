@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc proves the zero-steady-state-allocation property of the
+// simulator's hot paths at compile time. A function marked with a
+// //repro:hotpath doc comment must not allocate on any path reachable
+// from its entry, excluding straight-line runs that end in an
+// unconditional panic (a panicking run is by definition not steady
+// state). Flagged allocation sites: composite literals of slice or map
+// type (and &T{} literals), make/new, append (which may grow its
+// backing array), closures that capture variables, interface boxing of
+// non-pointer-shaped values at call sites and conversions, string
+// concatenation and string<->byte conversions, and any fmt-family
+// call. Sanctioned cold-branch allocations (pool-miss refills,
+// amortized slice growth) carry //lint:allow hotpathalloc annotations.
+//
+// The check runs everywhere a //repro:hotpath directive appears; the
+// runtime twin (TestShortMessagePathZeroAlloc) measures the same
+// property dynamically on one workload, while this analyzer covers
+// every path the CFG can reach.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocation sites on the steady-state path of //repro:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	g := buildCFG(fd.Body)
+	for _, blk := range g.reachable() {
+		if blk.panics {
+			continue // only executed on the way to a panic
+		}
+		for _, n := range blk.nodes {
+			inspectNoFuncLit(n, func(e ast.Expr) {
+				checkAllocExpr(pass, name, e)
+			})
+		}
+	}
+}
+
+// inspectNoFuncLit walks the expressions of one CFG node without
+// descending into nested function literals: a closure body runs at its
+// own call sites, while the literal itself is the allocation charged to
+// this function (reported by checkAllocExpr).
+func inspectNoFuncLit(n ast.Node, fn func(ast.Expr)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if e, ok := x.(ast.Expr); ok {
+			fn(e)
+			if _, isLit := e.(*ast.FuncLit); isLit {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func checkAllocExpr(pass *Pass, fname string, e ast.Expr) {
+	info := pass.TypesInfo
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		switch info.Types[e].Type.Underlying().(type) {
+		case *types.Slice:
+			pass.Reportf(e.Pos(), "slice literal allocates on //repro:hotpath function %s", fname)
+		case *types.Map:
+			pass.Reportf(e.Pos(), "map literal allocates on //repro:hotpath function %s", fname)
+		}
+
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := e.X.(*ast.CompositeLit); ok {
+				pass.Reportf(e.Pos(), "&composite literal allocates on //repro:hotpath function %s", fname)
+			}
+		}
+
+	case *ast.FuncLit:
+		if capturesVariables(info, e) {
+			pass.Reportf(e.Pos(), "closure captures variables and allocates on //repro:hotpath function %s", fname)
+		}
+
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && isStringType(info.Types[e.X].Type) {
+			pass.Reportf(e.Pos(), "string concatenation allocates on //repro:hotpath function %s", fname)
+		}
+
+	case *ast.CallExpr:
+		checkAllocCall(pass, fname, e)
+	}
+}
+
+func checkAllocCall(pass *Pass, fname string, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// Conversions: T(x) where T is an interface boxes x; string([]byte)
+	// and []byte(string) copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.Types[call.Args[0]].Type
+		if isIfaceType(dst) && src != nil && !isIfaceType(src) && !pointerShaped(src) {
+			pass.Reportf(call.Pos(), "conversion to interface boxes a %s on //repro:hotpath function %s", src, fname)
+		}
+		if allocatingStringConv(dst, src) {
+			pass.Reportf(call.Pos(), "string conversion copies on //repro:hotpath function %s", fname)
+		}
+		return
+	}
+
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates on //repro:hotpath function %s", fname)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates on //repro:hotpath function %s", fname)
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array on //repro:hotpath function %s", fname)
+			}
+			return
+		}
+	}
+
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pkgNameOf(pass.TypesInfo, x); ok && pn.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), "fmt.%s allocates on //repro:hotpath function %s", sel.Sel.Name, fname)
+				return
+			}
+		}
+	}
+
+	checkBoxingArgs(pass, fname, call)
+}
+
+// checkBoxingArgs flags non-pointer-shaped concrete values passed where
+// the callee declares an interface parameter: each such pass boxes the
+// value on the heap. Pointer-shaped values (pointers, funcs, maps,
+// chans) fit the interface data word and do not allocate.
+func checkBoxingArgs(pass *Pass, fname string, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	ftv, ok := info.Types[call.Fun]
+	if !ok || ftv.Type == nil {
+		return
+	}
+	sig, ok := ftv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 || (len(call.Args) == 1 && params.Len() > 1) {
+		return // f(g()) multi-value spread: no per-arg types to inspect
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !isIfaceType(pt) {
+			continue
+		}
+		atv := info.Types[arg]
+		if atv.IsNil() || atv.Type == nil {
+			continue
+		}
+		if isIfaceType(atv.Type) || pointerShaped(atv.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s boxes it in an interface on //repro:hotpath function %s", atv.Type, fname)
+	}
+}
+
+// capturesVariables reports whether lit references a variable declared
+// outside its own body (a closure over locals, which escapes them and
+// allocates the closure object).
+func capturesVariables(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captures; anything declared
+		// outside the literal's extent is.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+func isIfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// pointerShaped reports whether values of t fit an interface's data
+// word without boxing.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// allocatingStringConv reports string<->[]byte/[]rune conversions.
+func allocatingStringConv(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	if isStringType(dst) {
+		if s, ok := src.Underlying().(*types.Slice); ok {
+			return isByteOrRune(s.Elem())
+		}
+		return false
+	}
+	if s, ok := dst.Underlying().(*types.Slice); ok && isByteOrRune(s.Elem()) {
+		return isStringType(src)
+	}
+	return false
+}
+
+func isByteOrRune(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.HotPathAlloc,
+		"hotpathalloc", // positives, value-type/panic-guard/cold negatives, allowlisted
+	)
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -180,6 +181,11 @@ type loader struct {
 	// override temporarily maps an import path to a test-augmented
 	// package while checking its external test package.
 	override map[string]*types.Package
+	// shared, when set, resolves standard-library imports through a
+	// cache shared between concurrent loaders (see sharedImports).
+	// Module-internal imports stay per-loader: the external-test
+	// override dance purges them, which must not be visible to peers.
+	shared *sharedImports
 }
 
 func newLoader(root, modPath string) *loader {
@@ -340,6 +346,17 @@ func (ld *loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Pa
 	if p, ok := ld.imports[path]; ok {
 		return p, nil
 	}
+	if ld.shared != nil && ld.modPath != "" &&
+		path != ld.modPath && !strings.HasPrefix(path, ld.modPath+"/") {
+		p, err := ld.shared.load(path, &ld.ctxt)
+		if err != nil {
+			return nil, err
+		}
+		// Safe to cache per-loader: purgeDependents only evicts
+		// module-internal entries, so shared packages stay put.
+		ld.imports[path] = p
+		return p, nil
+	}
 	if ld.loading[path] {
 		return nil, fmt.Errorf("import cycle through %q", path)
 	}
@@ -382,6 +399,93 @@ func (ld *loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Pa
 		ld.deps[path] = mod
 	}
 	return pkg, nil
+}
+
+// sharedImports is a concurrency-safe cache of interface-only
+// standard-library packages, shared by the worker loaders of one
+// parallel run so the stdlib is parsed and checked once, not once per
+// worker. Entries are immutable after their done channel closes; a
+// loser of the per-path race waits for the winner's result. The cache
+// owns a private FileSet (FileSets serialize internally), so shared
+// package positions resolve against it — analyzers only ever position
+// diagnostics in the analyzed package's own files, which live in the
+// worker's FileSet.
+type sharedImports struct {
+	mu      sync.Mutex
+	fset    *token.FileSet
+	entries map[string]*sharedEntry
+}
+
+type sharedEntry struct {
+	done chan struct{}
+	pkg  *types.Package
+	err  error
+}
+
+func newSharedImports() *sharedImports {
+	return &sharedImports{fset: token.NewFileSet(), entries: map[string]*sharedEntry{}}
+}
+
+// load returns the cached package for path, checking it on first
+// request. Concurrent requests for distinct paths proceed in parallel;
+// the import graph is acyclic, so the cross-entry waits cannot deadlock.
+func (s *sharedImports) load(path string, ctxt *build.Context) (*types.Package, error) {
+	s.mu.Lock()
+	e, ok := s.entries[path]
+	if ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.pkg, e.err
+	}
+	e = &sharedEntry{done: make(chan struct{})}
+	s.entries[path] = e
+	s.mu.Unlock()
+	e.pkg, e.err = s.check(path, ctxt)
+	close(e.done)
+	return e.pkg, e.err
+}
+
+// check type-checks one standard-library package interface-only,
+// resolving its imports through the shared cache.
+func (s *sharedImports) check(path string, ctxt *build.Context) (*types.Package, error) {
+	bp, err := ctxt.Import(path, "", 0)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(s.fset, filepath.Join(bp.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("import %q: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:                 &sharedResolver{s: s, ctxt: ctxt},
+		Sizes:                    types.SizesFor("gc", ctxt.GOARCH),
+		IgnoreFuncBodies:         true,
+		DisableUnusedImportCheck: true,
+		Error:                    func(error) {},
+	}
+	pkg, _ := conf.Check(path, s.fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("import %q: type-checking failed", path)
+	}
+	return pkg, nil
+}
+
+// sharedResolver adapts sharedImports to types.Importer for the
+// cache's own dependency checks (stdlib imports only stdlib).
+type sharedResolver struct {
+	s    *sharedImports
+	ctxt *build.Context
+}
+
+func (r *sharedResolver) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return r.s.load(path, r.ctxt)
 }
 
 func (ld *loader) dirFor(path, srcDir string) (string, error) {

@@ -1,0 +1,65 @@
+// Package scalekern exercises chargetwin's kernel-twin convention: a
+// function <x>Body pairs with <x>Task.Step, primitive names compare
+// with the trailing "T" stripped, and compute charges compare with
+// their argument text. The import path ends in internal/apps/scalekern
+// so the fixture falls inside the analyzer's scope.
+package scalekern
+
+// Proc is the subject processor both kernel forms charge on.
+type Proc struct{}
+
+func (p *Proc) ComputeUs(us float64)  { _ = us }
+func (p *Proc) Barrier()              {}
+func (p *Proc) ComputeUsT(us float64) { _ = us }
+func (p *Proc) BarrierT()             {}
+func (p *Proc) WriteWord(dst int)     { _ = dst }
+func (p *Proc) WriteWordT(dst int)    { _ = dst }
+
+const itemCost = 0.05
+
+// sumBody and sumTask.Step charge identically: no finding.
+func sumBody(p *Proc, n int) {
+	_ = n
+	p.ComputeUs(itemCost)
+	p.Barrier()
+}
+
+type sumTask struct{ pc int }
+
+func (t *sumTask) Step(p *Proc) {
+	p.ComputeUsT(itemCost)
+	p.BarrierT()
+}
+
+// scanBody and scanTask.Step diverge in the compute argument.
+func scanBody(p *Proc, n int) {
+	_ = n
+	p.ComputeUs(itemCost)
+	p.WriteWord(0)
+}
+
+type scanTask struct{ pc int }
+
+func (t *scanTask) Step(p *Proc) { // want `diverges from blocking twin scanBody at step 1: ComputeUs\(2 \* itemCost\) vs ComputeUs\(itemCost\)`
+	p.ComputeUsT(2 * itemCost)
+	p.WriteWordT(0)
+}
+
+// packBody and packTask.Step differ in length.
+func packBody(p *Proc, n int) {
+	_ = n
+	p.WriteWord(1)
+}
+
+type packTask struct{ pc int }
+
+func (t *packTask) Step(p *Proc) { // want `has 2 op\(s\), blocking twin packBody has 1`
+	p.WriteWordT(1)
+	p.BarrierT()
+}
+
+// orphanBody has no Task twin: skipped, not a finding.
+func orphanBody(p *Proc, n int) {
+	_ = n
+	p.Barrier()
+}

@@ -1,0 +1,99 @@
+// Package splitc exercises chargetwin's primitive-twin convention: a
+// method M on type X pairs with M+"T" on "T"+X, and the two must issue
+// identical endpoint-boundary charge sequences. The import path ends in
+// internal/splitc so the fixture falls inside the analyzer's scope.
+package splitc
+
+// Endpoint is the charge surface both twin forms issue on.
+type Endpoint struct{}
+
+func (e *Endpoint) Compute(cycles int64) { _ = cycles }
+func (e *Endpoint) Request()             {}
+func (e *Endpoint) Store()               {}
+
+const spinCost = 40
+
+// Sem is the blocking form; TSem is its continuation twin.
+type Sem struct{ ep *Endpoint }
+
+type TSem struct{ ep *Endpoint }
+
+// Acquire/AcquireT charge identically: no finding.
+func (s *Sem) Acquire() {
+	s.ep.Request()
+	s.ep.Compute(spinCost)
+}
+
+func (s *TSem) AcquireT() {
+	s.ep.Request()
+	s.ep.Compute(spinCost)
+}
+
+// Release/ReleaseT diverge in the compute argument.
+func (s *Sem) Release() {
+	s.ep.Store()
+	s.ep.Compute(spinCost)
+}
+
+func (s *TSem) ReleaseT() { // want `diverges from blocking twin Release at step 2: compute\(spinCost \* 2\) vs compute\(spinCost\)`
+	s.ep.Store()
+	s.ep.Compute(spinCost * 2)
+}
+
+// Signal/SignalT differ in length.
+func (s *Sem) Signal() {
+	s.ep.Store()
+}
+
+func (s *TSem) SignalT() { // want `has 2 op\(s\), blocking twin Signal has 1`
+	s.ep.Store()
+	s.ep.Request()
+}
+
+// Exchange/ExchangeT both charge through an unpaired helper method; the
+// flattened sequences match.
+func (s *Sem) roundTrip() {
+	s.ep.Request()
+	s.ep.Store()
+}
+
+func (s *Sem) Exchange() {
+	s.roundTrip()
+	s.ep.Compute(spinCost)
+}
+
+func (s *TSem) roundTrip() {
+	s.ep.Request()
+	s.ep.Store()
+}
+
+func (s *TSem) ExchangeT() {
+	s.roundTrip()
+	s.ep.Compute(spinCost)
+}
+
+// Fetch/FetchT: a handler closure's charges run on the receiving
+// processor in both modes, so its body is outside the issuing sequence.
+func (s *Sem) Fetch() {
+	s.ep.Request()
+}
+
+func (s *TSem) withHandler(h func()) { _ = h }
+
+func (s *TSem) FetchT() {
+	s.withHandler(func() {
+		s.ep.Compute(spinCost)
+	})
+	s.ep.Request()
+}
+
+// Probe/ProbeT diverge, but the directive sanctions it.
+func (s *Sem) Probe() {
+	s.ep.Request()
+}
+
+//lint:allow chargetwin fixture: demonstrating the escape hatch
+func (s *TSem) ProbeT() {
+	s.ep.Request()
+	s.ep.Compute(spinCost)
+}

@@ -1,0 +1,98 @@
+// Package hotpathalloc exercises the hotpathalloc analyzer: allocation
+// sites on the steady-state path of //repro:hotpath functions are
+// findings; value-type literals, panic guards, un-annotated functions,
+// and allowlisted cold branches are not.
+package hotpathalloc
+
+import "fmt"
+
+type ring struct {
+	buf  []int
+	head int
+}
+
+//repro:hotpath
+func (r *ring) badPush(v int) {
+	r.buf = append(r.buf, v) // want `append may grow its backing array`
+}
+
+//repro:hotpath
+func badLiterals(n int) int {
+	s := []int{n} // want `slice literal allocates`
+	m := map[int]int{n: n} // want `map literal allocates`
+	p := &ring{head: n} // want `&composite literal allocates`
+	return s[0] + m[n] + p.head
+}
+
+//repro:hotpath
+func badMake(n int) []byte {
+	return make([]byte, n) // want `make allocates`
+}
+
+//repro:hotpath
+func badNew() *ring {
+	return new(ring) // want `new allocates`
+}
+
+//repro:hotpath
+func badClosure(v int) func() int {
+	return func() int { return v } // want `closure captures variables`
+}
+
+//repro:hotpath
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//repro:hotpath
+func badFmt(v int) string {
+	return fmt.Sprintf("%d", v) // want `fmt.Sprintf allocates`
+}
+
+//repro:hotpath
+func badBoxConv(v int) any {
+	return any(v) // want `conversion to interface boxes`
+}
+
+func sink(v any) { _ = v }
+
+//repro:hotpath
+func badBoxArg(v int) {
+	sink(v) // want `boxes it in an interface`
+}
+
+//repro:hotpath
+func badBytes(s string) []byte {
+	return []byte(s) // want `string conversion copies`
+}
+
+// Struct literals are value types: no heap allocation, no finding.
+//
+//repro:hotpath
+func goodValue(n int) ring {
+	return ring{head: n}
+}
+
+// A straight-line run ending in panic is off the steady-state path, so
+// the fmt call in the guard is exempt.
+//
+//repro:hotpath
+func goodPanicGuard(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative length %d", n))
+	}
+	return n * 2
+}
+
+// The escape hatch: sanctioned amortized growth on a cold branch.
+//
+//repro:hotpath
+func allowedGrow(buf []int, v int) []int {
+	//lint:allow hotpathalloc fixture: amortized growth reaches its high-water mark during warmup
+	return append(buf, v)
+}
+
+// No directive: cold code may allocate freely.
+func coldSetup(n int) []int {
+	return make([]int, n)
+}

@@ -171,6 +171,8 @@ func runThunk(arg any, _ Time) { arg.(func())() }
 // grown to the workload's high-water mark the call allocates nothing:
 // this is the hot path the Active Message layer schedules deliveries and
 // credit returns through.
+//
+//repro:hotpath
 func (e *Engine) ScheduleCall(t Time, fn EventFn, arg any) {
 	e.eventSeq++
 	e.events.push(event{at: t, seq: e.eventSeq, fn: fn, arg: arg})
@@ -262,6 +264,8 @@ func (e *Engine) finish(p *Proc) {
 // next pops the runnable processor with the smallest clock, executing any
 // events due at or before that clock first (events may make earlier
 // processors runnable). Returns nil when nothing can run.
+//
+//repro:hotpath
 func (e *Engine) next() *Proc {
 	for {
 		q := e.ready.peek()
@@ -354,6 +358,8 @@ func (e *Engine) switchTo(from, to *Proc) {
 // round-trip — the schedule is identical, next() already made the choice)
 // or a processor with a real continuation must run, in which case the CPU
 // is handed off and `from` parks until someone hands it back.
+//
+//repro:hotpath
 func (e *Engine) dispatch(from *Proc) {
 	for {
 		next := e.next()
@@ -423,6 +429,8 @@ func (e *Engine) dispatch(from *Proc) {
 // as window-credit returns, whose timestamps lie beyond other processors'
 // clocks — before the scheduler picks the minimum again, and waiters'
 // conditions legitimately observe those effects.
+//
+//repro:hotpath
 func (e *Engine) stepWait(p *Proc) {
 	if e.timeLimit > 0 && p.clock > e.timeLimit {
 		// Same failure the waiter's own Checkpoint would have raised,
@@ -481,6 +489,8 @@ func (e *Engine) stepWait(p *Proc) {
 // the same states a waiter's own Checkpoint would have shown them (the
 // stepped processor sits ready in the heap, so wakes for it accumulate as
 // pending, exactly as for a running processor).
+//
+//repro:hotpath
 func (e *Engine) drainEvents(limit Time) {
 	for e.events.len() > 0 && e.events.peek().at <= limit {
 		ev := e.events.pop()

@@ -32,7 +32,9 @@ func (h *eventHeap) less(i, j int) bool {
 	return h.ev[i].seq < h.ev[j].seq
 }
 
+//repro:hotpath
 func (h *eventHeap) push(e event) {
+	//lint:allow hotpathalloc amortized heap growth; the slice reaches its high-water mark during warmup
 	h.ev = append(h.ev, e)
 	i := len(h.ev) - 1
 	for i > 0 {
@@ -52,6 +54,7 @@ func (h *eventHeap) peek() *event {
 	return &h.ev[0]
 }
 
+//repro:hotpath
 func (h *eventHeap) pop() event {
 	top := h.ev[0]
 	last := len(h.ev) - 1
@@ -62,6 +65,7 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+//repro:hotpath
 func (h *eventHeap) siftDown(i int) {
 	n := len(h.ev)
 	for {
@@ -110,8 +114,10 @@ func (h *procHeap) swap(i, j int) {
 	h.ps[j].heapIndex = j
 }
 
+//repro:hotpath
 func (h *procHeap) push(p *Proc) {
 	p.heapIndex = len(h.ps)
+	//lint:allow hotpathalloc amortized heap growth; bounded by the processor count
 	h.ps = append(h.ps, p)
 	h.siftUp(p.heapIndex)
 }
@@ -123,6 +129,7 @@ func (h *procHeap) peek() *Proc {
 	return h.ps[0]
 }
 
+//repro:hotpath
 func (h *procHeap) pop() *Proc {
 	top := h.ps[0]
 	h.remove(0)
@@ -130,6 +137,8 @@ func (h *procHeap) pop() *Proc {
 }
 
 // remove deletes the element at index i.
+//
+//repro:hotpath
 func (h *procHeap) remove(i int) {
 	last := len(h.ps) - 1
 	if i != last {
@@ -143,6 +152,7 @@ func (h *procHeap) remove(i int) {
 	}
 }
 
+//repro:hotpath
 func (h *procHeap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -154,6 +164,7 @@ func (h *procHeap) siftUp(i int) {
 	}
 }
 
+//repro:hotpath
 func (h *procHeap) siftDown(i int) {
 	n := len(h.ps)
 	for {

@@ -135,6 +135,8 @@ func (p *Proc) SetStretch(fn func(from, d Time) Time) { p.onStretch = fn }
 // Advance charges d of local computation (or overhead) to the processor.
 // Pure local work never requires a checkpoint: nothing another processor
 // does can affect it, because messages are only observed at poll points.
+//
+//repro:hotpath
 func (p *Proc) Advance(d Time) {
 	if d < 0 {
 		panic("sim: Advance with negative duration")
@@ -156,6 +158,8 @@ func (p *Proc) Advance(d Time) {
 }
 
 // AdvanceTo moves the clock forward to t if t is in the future.
+//
+//repro:hotpath
 func (p *Proc) AdvanceTo(t Time) {
 	if t > p.clock {
 		from := p.clock
@@ -171,6 +175,8 @@ func (p *Proc) AdvanceTo(t Time) {
 // smaller clock (or equal clock and smaller ID), control transfers to it.
 // Communication layers call this at every poll point so that message
 // arrivals are observed in virtual-time order.
+//
+//repro:hotpath
 func (p *Proc) Checkpoint() {
 	e := p.eng
 	if e.resumable {
@@ -227,6 +233,8 @@ func (p *Proc) Checkpoint() {
 // the dispatch see the processor already marked blocked, so their WakeAt
 // takes effect. Park panics (aborting the simulation with a deadlock
 // diagnosis) if nothing can ever wake the processor.
+//
+//repro:hotpath
 func (p *Proc) Park(reason string) {
 	if p.eng.resumable {
 		panic("sim: Park from a resumable body; return the wait from Resume instead")
@@ -279,6 +287,8 @@ type PollableWait interface {
 // leaves its wait loop without re-testing — and false when a pending
 // wakeup was consumed instead of blocking, in which case the caller loops
 // and re-tests exactly as it would after Park.
+//
+//repro:hotpath
 func (p *Proc) ParkPollable(w PollableWait, reason string) bool {
 	if p.eng.resumable {
 		panic("sim: ParkPollable from a resumable body; return the wait from Resume instead")
@@ -304,6 +314,8 @@ func (p *Proc) ParkPollable(w PollableWait, reason string) bool {
 // blocking, so wakeups are never lost. WakeAt is the only Proc method that
 // may be called from outside p's own goroutine context (from events or
 // other bodies).
+//
+//repro:hotpath
 func (p *Proc) WakeAt(t Time) {
 	switch p.state {
 	case stateBlocked:
@@ -327,6 +339,7 @@ func (p *Proc) WakeAt(t Time) {
 		if i < len(p.pendingWakes) && p.pendingWakes[i] == t {
 			return // dedup
 		}
+		//lint:allow hotpathalloc pending-wake list growth; typically empty or one element, capacity is kept
 		p.pendingWakes = append(p.pendingWakes, 0)
 		copy(p.pendingWakes[i+1:], p.pendingWakes[i:])
 		p.pendingWakes[i] = t

@@ -121,6 +121,8 @@ func (e *Engine) drive() {
 // iteration (condition test, one poll, spin-forward, or true block) at
 // the same point the coroutine wait loop would have run it after its
 // opening Checkpoint.
+//
+//repro:hotpath
 func (e *Engine) resumeStep(p *Proc) {
 	if e.timeLimit > 0 && p.clock > e.timeLimit {
 		// The check a coroutine body would have hit at its next
@@ -158,6 +160,8 @@ func (e *Engine) resumeStep(p *Proc) {
 // materialize, parked processors are woken (their wakes queue as
 // pending), but no control transfer happens. Continuation-mode poll
 // points call this before inspecting their inboxes.
+//
+//repro:hotpath
 func (p *Proc) RunDueEvents() { p.eng.drainEvents(p.clock) }
 
 // Yield is the resumable-mode Checkpoint: a wait that is ready the
