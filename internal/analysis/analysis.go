@@ -96,6 +96,7 @@ func noGlobalScopes() []string {
 		"internal/apps",
 		"internal/fault",
 		"internal/prof",
+		"internal/splitc/tune",
 	}
 }
 

@@ -53,6 +53,11 @@ type Config struct {
 	// Reliability configures the AM-layer reliability protocol
 	// (sequencing, dedup, acks, timeout retransmission).
 	Reliability am.Reliability
+	// Collectives selects the splitc collective algorithms (names from
+	// internal/splitc/tune, or splitc.CollAuto to let the LogGP tuner
+	// pick against Params). The zero value keeps the historical
+	// defaults.
+	Collectives splitc.Collectives
 }
 
 // DefaultScale is the harness-wide default input scale.
@@ -125,7 +130,13 @@ type App interface {
 
 // NewWorld builds the simulation world for a config.
 func NewWorld(cfg Config) (*splitc.World, error) {
-	w, err := splitc.NewWorldLimit(cfg.Procs, cfg.Params, cfg.Seed, cfg.TimeLimit)
+	w, err := splitc.NewWorldCfg(splitc.Config{
+		Procs:       cfg.Procs,
+		Params:      cfg.Params,
+		Seed:        cfg.Seed,
+		TimeLimit:   cfg.TimeLimit,
+		Collectives: cfg.Collectives,
+	})
 	if err != nil {
 		return nil, err
 	}

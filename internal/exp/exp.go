@@ -230,6 +230,7 @@ func Registry() []Experiment {
 		{"ext-phases", "Extension: Radix phase shares under overhead", extPhasesPlan, extPhasesRender},
 		{"profile", "Stall attribution per application (LogGP accountant)", profilePlan, profileRender},
 		{"faults", "Extension: fault injection — delay propagation and lossy-wire recovery", faultsPlan, faultsRender},
+		{"collectives", "Extension: collective algorithm selection — LogGP crossovers and tuning", collectivesPlan, collectivesRender},
 		{"scale", "Weak scaling on the resumable runtime (P to 1M)", scalePlan, scaleRender},
 	}
 }

@@ -21,7 +21,8 @@ func quickOpts() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig3", "table2", "table3", "fig4", "table4",
 		"fig5a", "fig5b", "table5", "fig6", "table6", "fig7", "fig8",
-		"ext-burst", "ext-tradeoff", "ext-phases", "profile", "faults", "scale"}
+		"ext-burst", "ext-tradeoff", "ext-phases", "profile", "faults",
+		"collectives", "scale"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
@@ -458,5 +459,97 @@ func TestExtPhasesQuick(t *testing.T) {
 	}
 	if high16 <= base16 {
 		t.Errorf("histogram share did not grow with overhead: %v%% -> %v%%", base16, high16)
+	}
+}
+
+// TestCollectivesTunerMatchesMeasured is the crossover study's
+// acceptance check: at every quick-mode (primitive, machine, P) point
+// the LogGP tuner's pick must be the measured winner. A failure here
+// means a cost model drifted from the engine's actual schedule.
+func TestCollectivesTunerMatchesMeasured(t *testing.T) {
+	cross, err := quickOpts().Norm().collCrossovers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[string][2]int{}
+	for _, c := range cross {
+		key := c.Primitive + "/" + c.Machine + "/" + strconv.Itoa(c.Procs)
+		g := groups[key]
+		if c.Best {
+			g[0]++
+		}
+		if c.Pick {
+			g[1]++
+		}
+		groups[key] = g
+		if c.Best != c.Pick {
+			t.Errorf("%s/%s P=%d %s: best=%v pick=%v (measured %v, model %v)",
+				c.Primitive, c.Machine, c.Procs, c.Alg, c.Best, c.Pick, c.Measured, c.Model)
+		}
+	}
+	if len(groups) == 0 {
+		t.Fatal("no crossover groups")
+	}
+	for key, g := range groups {
+		if g[0] != 1 || g[1] != 1 {
+			t.Errorf("%s: %d best and %d pick rows, want exactly 1 of each", key, g[0], g[1])
+		}
+	}
+}
+
+// TestCollectivesQuick sanity-checks the rendered table: both sections
+// present, tuned rows annotated with the resolved selection.
+func TestCollectivesQuick(t *testing.T) {
+	o := quickOpts()
+	o.Apps = []string{"radix"}
+	tab, err := Collectives(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var micro, app, tuned int
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "micro":
+			micro++
+		case "app":
+			app++
+			if row[4] == "tuned" && !strings.Contains(row[7], "bar=") {
+				t.Errorf("tuned row lacks resolved selection: %v", row)
+			}
+		}
+		if row[4] == "tuned" {
+			tuned++
+		}
+	}
+	// 3 primitives × 3 quick machines × 2 sizes × 3 algorithms.
+	if micro != 54 {
+		t.Errorf("micro rows = %d, want 54", micro)
+	}
+	// 1 app × 3 knobs × 3 quick points × {default, tuned}.
+	if app != 18 || tuned != 9 {
+		t.Errorf("app rows = %d (tuned %d), want 18 (9)", app, tuned)
+	}
+}
+
+// TestCollectivesDeterminismAcrossJobs extends the byte-identity
+// invariant to the collectives table: per-point tuner resolution
+// happens inside each run's own world construction, so the table must
+// not depend on the worker count.
+func TestCollectivesDeterminismAcrossJobs(t *testing.T) {
+	o := quickOpts()
+	o.Apps = []string{"radix"}
+	render := func(jobs int) string {
+		o := o
+		o.Jobs = jobs
+		tab, err := Collectives(o)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return tab.Text()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("collectives differs between jobs=1 and jobs=8:\n--- jobs=1\n%s--- jobs=8\n%s", serial, parallel)
 	}
 }

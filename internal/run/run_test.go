@@ -2,12 +2,14 @@ package run
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/apps"
 	"repro/internal/apps/radix"
 	"repro/internal/core"
+	"repro/internal/splitc"
 )
 
 func testSpec(v float64) Spec {
@@ -199,5 +201,25 @@ func TestSpecString(t *testing.T) {
 		if got := fmt.Sprint(s); got != want {
 			t.Errorf("String() = %q, want %q", got, want)
 		}
+	}
+}
+
+func TestSpecCollKeysSeparately(t *testing.T) {
+	// Runs under different collective selections are different runs: the
+	// selection changes the schedule, so it must change the Store key.
+	a := testSpec(10)
+	b := testSpec(10)
+	b.Coll = splitc.Collectives{Barrier: "tree"}
+	if a.norm() == b.norm() {
+		t.Error("specs with different collective selections compare equal")
+	}
+	// The baseline dependency stays within the selection: a tuned sweep's
+	// slowdown is measured against the tuned baseline.
+	base := b.BaselineSpec(false)
+	if base.Coll != b.Coll {
+		t.Errorf("BaselineSpec dropped the selection: %+v", base)
+	}
+	if got := b.String(); !strings.Contains(got, "bar=tree") {
+		t.Errorf("String() = %q, want the selection rendered", got)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/logp"
+	"repro/internal/splitc"
 )
 
 // Spec is the canonical key of one simulation run. Two runs with equal
@@ -48,6 +49,11 @@ type Spec struct {
 	// run is never a baseline: its slowdown is measured against the same
 	// spec with the zero scenario.
 	Fault FaultSpec
+	// Coll selects the splitc collective algorithms (zero = the
+	// historical defaults). Runs with different selections key — and
+	// cache — separately: the selection changes the schedule, so it
+	// changes the result.
+	Coll splitc.Collectives
 }
 
 // Baseline builds the canonical baseline Spec for an application
@@ -80,6 +86,7 @@ func (s Spec) norm() Spec {
 func (s Spec) BaselineSpec(verify bool) Spec {
 	b := Baseline(s.App, s.Procs, s.Scale, s.Seed, verify)
 	b.Profile = s.Profile
+	b.Coll = s.Coll
 	return b
 }
 
@@ -87,13 +94,14 @@ func (s Spec) BaselineSpec(verify bool) Spec {
 // The knob itself is applied by the executor (core.Measure), not here.
 func (s Spec) Config(params logp.Params) apps.Config {
 	return apps.Config{
-		Procs:      s.Procs,
-		Scale:      s.Scale,
-		Params:     params,
-		Seed:       s.Seed,
-		Verify:     s.Verify,
-		CPUSpeedup: s.CPUSpeedup,
-		Profile:    s.Profile,
+		Procs:       s.Procs,
+		Scale:       s.Scale,
+		Params:      params,
+		Seed:        s.Seed,
+		Verify:      s.Verify,
+		CPUSpeedup:  s.CPUSpeedup,
+		Profile:     s.Profile,
+		Collectives: s.Coll,
 	}
 }
 
@@ -105,6 +113,9 @@ func (s Spec) String() string {
 	}
 	if s.Profile {
 		suffix += " +prof"
+	}
+	if !s.Coll.IsZero() {
+		suffix += " " + s.Coll.String()
 	}
 	if s.IsBaseline() {
 		return fmt.Sprintf("%s/p%d baseline%s", s.App, s.Procs, suffix)

@@ -1,0 +1,238 @@
+package splitc
+
+import "repro/internal/am"
+
+// Blocking forms of the registered collective algorithms beyond the
+// defaults in sync.go. Every method here has a continuation twin of the
+// same name + "T" in coll_algos_cont.go; the chargetwin analyzer proves
+// each pair issues an identical charge sequence, which is what keeps the
+// two runtimes' timelines bit-identical under any selection.
+
+// Barrier counter slots for the tree and flat barriers: arrivals
+// accumulate in slot 0, releases in slot 1. Counters are cumulative
+// across episodes, like the dissemination barrier's round counters.
+const (
+	slotArrive  = 0
+	slotRelease = 1
+)
+
+// treeChildren counts me's children in the binomial tree rooted at 0
+// (child me+2^r for every round r with 2^r > me and me+2^r < P).
+func treeChildren(me, p int) int {
+	n := 0
+	for r := 0; 1<<r < p; r++ {
+		if me < 1<<r && me+1<<r < p {
+			n++
+		}
+	}
+	return n
+}
+
+// barrierTree is the gather-release tree barrier: arrivals climb a
+// binomial tree to processor 0 (each node forwards once its subtree has
+// arrived), and the release walks the same tree back down. 2·⌈log2 P⌉
+// sequential hops on the critical path but only 2·(P-1) messages total,
+// half the dissemination barrier's traffic.
+func (p *Proc) barrierTree() {
+	p.syncEnter(RegionBarrier)
+	p.StoreSync()
+	w := p.w
+	me := p.ID()
+	P := p.P()
+	if P == 1 {
+		w.m.Stats().CountBarrier()
+		p.syncExit(RegionBarrier)
+		return
+	}
+	bs := w.barrierOf(me)
+	bs.episodes++
+	target := bs.episodes
+	if nch := treeChildren(me, P); nch > 0 {
+		need := int64(nch) * target
+		p.ep.WaitUntilFor(am.WaitBarrier, func() bool { return bs.recvCount[slotArrive] >= need }, "splitc: tree barrier gather")
+	}
+	if me != 0 {
+		parent := me &^ (1 << uint(highestBit(me)))
+		p.ep.Request(parent, am.ClassSync, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
+			w.barrierOf(ep.ID()).recvCount[a[0]]++
+		}, am.Args{slotArrive})
+		p.ep.WaitUntilFor(am.WaitBarrier, func() bool { return bs.recvCount[slotRelease] >= target }, "splitc: tree barrier release")
+	}
+	for r := 0; 1<<r < P; r++ {
+		if me < 1<<r && me+1<<r < P {
+			p.ep.Request(me+1<<r, am.ClassSync, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
+				w.barrierOf(ep.ID()).recvCount[a[0]]++
+			}, am.Args{slotRelease})
+		}
+	}
+	if me == 0 {
+		w.m.Stats().CountBarrier()
+	}
+	p.syncExit(RegionBarrier)
+}
+
+// barrierFlat is the central-counter barrier: everyone reports to
+// processor 0, which releases everyone directly. Depth 2, but the root
+// serializes P-1 receives and P-1 paced sends — the small-P/large-o
+// corner is where it can beat the log-round algorithms.
+func (p *Proc) barrierFlat() {
+	p.syncEnter(RegionBarrier)
+	p.StoreSync()
+	w := p.w
+	me := p.ID()
+	P := p.P()
+	if P == 1 {
+		w.m.Stats().CountBarrier()
+		p.syncExit(RegionBarrier)
+		return
+	}
+	bs := w.barrierOf(me)
+	bs.episodes++
+	target := bs.episodes
+	if me == 0 {
+		need := int64(P-1) * target
+		p.ep.WaitUntilFor(am.WaitBarrier, func() bool { return bs.recvCount[slotArrive] >= need }, "splitc: flat barrier gather")
+		for q := 1; q < P; q++ {
+			p.ep.Request(q, am.ClassSync, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
+				w.barrierOf(ep.ID()).recvCount[a[0]]++
+			}, am.Args{slotRelease})
+		}
+	} else {
+		p.ep.Request(0, am.ClassSync, func(ep *am.Endpoint, tok *am.Token, a am.Args) {
+			w.barrierOf(ep.ID()).recvCount[a[0]]++
+		}, am.Args{slotArrive})
+		p.ep.WaitUntilFor(am.WaitBarrier, func() bool { return bs.recvCount[slotRelease] >= target }, "splitc: flat barrier release")
+	}
+	if me == 0 {
+		w.m.Stats().CountBarrier()
+	}
+	p.syncExit(RegionBarrier)
+}
+
+// bcastBinomial is the default broadcast: the binomial tree of
+// sync.go's bcastTree under the broadcast tag block.
+func (p *Proc) bcastBinomial(root int, val uint64) uint64 {
+	return p.bcastTree(root, val, p.w.sel.bcastBase)
+}
+
+// bcastChain forwards the value around the ring rotated to start at
+// root: P-1 sequential hops, one send and at most one receive per
+// processor — the pipelined-segmented schedule degenerate to one
+// segment, which the tuner prices accordingly.
+func (p *Proc) bcastChain(root int, val uint64) uint64 {
+	w := p.w
+	me := p.ID()
+	P := p.P()
+	tag := w.sel.bcastBase
+	vid := (me - root + P) % P
+	acc := val
+	if vid != 0 {
+		acc = p.recvColl(tag)
+	}
+	if vid+1 < P {
+		p.sendColl((me+1)%P, tag, acc)
+	}
+	return acc
+}
+
+// bcastFlat has the root send to every other processor directly, in
+// processor order: depth 1, serialized on the root's injection pacing.
+func (p *Proc) bcastFlat(root int, val uint64) uint64 {
+	w := p.w
+	me := p.ID()
+	P := p.P()
+	tag := w.sel.bcastBase
+	if me == root {
+		for q := 0; q < P; q++ {
+			if q == root {
+				continue
+			}
+			p.sendColl(q, tag, val)
+		}
+		return val
+	}
+	return p.recvColl(tag)
+}
+
+// allReduceTree adapts the default reduce-broadcast tree (sync.go) to
+// the engine's operator-code signature.
+func (p *Proc) allReduceTree(val uint64, op ReduceOp) uint64 {
+	return p.allReduceTreeFn(val, op.fn())
+}
+
+// allReduceRecDouble is recursive doubling (the butterfly): when P is
+// not a power of two, the low 2·(P-pof2) processors fold pairwise into
+// their even member first; the pof2-sized core then exchanges partials
+// with the vid^2^r partner for ⌊log2 P⌋ rounds, after which the folded
+// processors receive the result back. Every core processor holds the
+// total after the last round — half the tree algorithm's depth.
+func (p *Proc) allReduceRecDouble(val uint64, op ReduceOp) uint64 {
+	opFn := op.fn()
+	w := p.w
+	me := p.ID()
+	P := p.P()
+	base := w.sel.arBase
+	pof2 := 1 << uint(highestBit(P))
+	rem := P - pof2
+	unfold := base + 1 + logRounds(P)
+	acc := val
+	if me < 2*rem && me&1 == 1 {
+		// Folded-out processor: contribute to the even neighbor, wait for
+		// the result.
+		p.sendColl(me-1, base, acc)
+		return p.recvColl(unfold)
+	}
+	if me < 2*rem {
+		acc = opFn(acc, p.recvColl(base))
+	}
+	// Compacted virtual id within the power-of-two core.
+	vid := me - rem
+	if me < 2*rem {
+		vid = me / 2
+	}
+	for r := 0; 1<<r < pof2; r++ {
+		pv := vid ^ (1 << r)
+		partner := pv + rem
+		if pv < rem {
+			partner = 2 * pv
+		}
+		p.sendColl(partner, base+1+r, acc)
+		acc = opFn(acc, p.recvColl(base+1+r))
+	}
+	if me < 2*rem {
+		p.sendColl(me+1, unfold, acc)
+	}
+	return acc
+}
+
+// allReduceFlat gathers every operand on processor 0 and fans the total
+// back out directly. The root drains its whole operand queue in one
+// wait (episodes cannot overlap: a sender's next contribution is
+// causally behind the result it must first receive).
+func (p *Proc) allReduceFlat(val uint64, op ReduceOp) uint64 {
+	opFn := op.fn()
+	w := p.w
+	me := p.ID()
+	P := p.P()
+	gtag := w.sel.arBase
+	rtag := w.sel.arBase + 1
+	if me == 0 {
+		cs := w.collOf(me)
+		need := P - 1
+		p.ep.WaitUntilFor(am.WaitBarrier, func() bool { return len(cs.vals[gtag]) >= need }, "splitc: flat all-reduce gather")
+		if len(cs.vals[gtag]) != need {
+			panic("splitc: flat all-reduce arity")
+		}
+		acc := val
+		for _, v := range cs.vals[gtag] {
+			acc = opFn(acc, v)
+		}
+		cs.vals[gtag] = nil
+		for q := 1; q < P; q++ {
+			p.sendColl(q, rtag, acc)
+		}
+		return acc
+	}
+	p.sendColl(0, gtag, val)
+	return p.recvColl(rtag)
+}

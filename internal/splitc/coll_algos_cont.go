@@ -1,0 +1,373 @@
+package splitc
+
+import (
+	"repro/internal/am"
+	"repro/internal/sim"
+)
+
+// Continuation twins of the algorithms in coll_algos.go, written in the
+// resumptive style of cont.go. Each method replays its blocking
+// original statement for statement — same sends in the same source
+// order, same wait conditions, same instrumentation — which is what the
+// chargetwin analyzer checks pairwise and what keeps the two runtimes'
+// timelines bit-identical under any selection.
+
+// barrierTreeT is barrierTree: store-sync, gather up the binomial tree,
+// release back down it. op.pc: 0 enter, 1 store-sync complete, 2 subtree
+// gathered, 3 arrival sent upward, 4 release received, 5 release fan-out
+// (op.r round cursor).
+func (t *TProc) barrierTreeT() sim.PollableWait {
+	w, me, P := t.w, t.ID(), t.P()
+	for {
+		switch t.op.pc {
+		case 0:
+			t.syncEnter(RegionBarrier)
+			t.ep.MarkWaitBegin(am.WaitStore)
+			t.op.pc = 1
+			return t.ep.QuiesceWait()
+		case 1:
+			t.ep.MarkWaitEnd(am.WaitStore)
+			if P == 1 {
+				w.m.Stats().CountBarrier()
+				t.syncExit(RegionBarrier)
+				t.op.pc = 0
+				return nil
+			}
+			bs := w.barrierOf(me)
+			bs.episodes++
+			t.op.tgt = bs.episodes
+			if nch := treeChildren(me, P); nch > 0 {
+				t.ep.MarkWaitBegin(am.WaitBarrier)
+				t.op.pc = 2
+				return t.ep.CounterWait(&bs.recvCount[slotArrive], int64(nch)*t.op.tgt, "splitc: tree barrier gather")
+			}
+			t.op.pc = 3
+		case 2:
+			t.ep.MarkWaitEnd(am.WaitBarrier)
+			t.op.pc = 3
+		case 3:
+			if me == 0 {
+				t.op.r = 0
+				t.op.pc = 5
+				continue
+			}
+			parent := me &^ (1 << uint(highestBit(me)))
+			if wt := t.requestT(parent, am.ClassSync, w.hBarrier, am.Args{slotArrive}); wt != nil {
+				return wt
+			}
+			bs := w.barrierOf(me)
+			t.ep.MarkWaitBegin(am.WaitBarrier)
+			t.op.pc = 4
+			return t.ep.CounterWait(&bs.recvCount[slotRelease], t.op.tgt, "splitc: tree barrier release")
+		case 4:
+			t.ep.MarkWaitEnd(am.WaitBarrier)
+			t.op.r = 0
+			t.op.pc = 5
+		case 5:
+			for 1<<t.op.r < P {
+				r := t.op.r
+				if me < 1<<r && me+1<<r < P {
+					if wt := t.requestT(me+1<<r, am.ClassSync, w.hBarrier, am.Args{slotRelease}); wt != nil {
+						return wt
+					}
+				}
+				t.op.r++
+			}
+			if me == 0 {
+				w.m.Stats().CountBarrier()
+			}
+			t.syncExit(RegionBarrier)
+			t.op.pc = 0
+			return nil
+		}
+	}
+}
+
+// barrierFlatT is barrierFlat: store-sync, all arrivals on processor 0,
+// direct release fan-out. op.pc: 0 enter, 1 store-sync complete, 2 root
+// gathered, 3 root release loop (op.r), 4 arrival sent, 5 release
+// received.
+func (t *TProc) barrierFlatT() sim.PollableWait {
+	w, me, P := t.w, t.ID(), t.P()
+	for {
+		switch t.op.pc {
+		case 0:
+			t.syncEnter(RegionBarrier)
+			t.ep.MarkWaitBegin(am.WaitStore)
+			t.op.pc = 1
+			return t.ep.QuiesceWait()
+		case 1:
+			t.ep.MarkWaitEnd(am.WaitStore)
+			if P == 1 {
+				w.m.Stats().CountBarrier()
+				t.syncExit(RegionBarrier)
+				t.op.pc = 0
+				return nil
+			}
+			bs := w.barrierOf(me)
+			bs.episodes++
+			t.op.tgt = bs.episodes
+			if me == 0 {
+				t.ep.MarkWaitBegin(am.WaitBarrier)
+				t.op.pc = 2
+				return t.ep.CounterWait(&bs.recvCount[slotArrive], int64(P-1)*t.op.tgt, "splitc: flat barrier gather")
+			}
+			t.op.pc = 4
+		case 2:
+			t.ep.MarkWaitEnd(am.WaitBarrier)
+			t.op.r = 1
+			t.op.pc = 3
+		case 3:
+			for t.op.r < P {
+				if wt := t.requestT(t.op.r, am.ClassSync, w.hBarrier, am.Args{slotRelease}); wt != nil {
+					return wt
+				}
+				t.op.r++
+			}
+			w.m.Stats().CountBarrier()
+			t.syncExit(RegionBarrier)
+			t.op.pc = 0
+			return nil
+		case 4:
+			if wt := t.requestT(0, am.ClassSync, w.hBarrier, am.Args{slotArrive}); wt != nil {
+				return wt
+			}
+			bs := w.barrierOf(me)
+			t.ep.MarkWaitBegin(am.WaitBarrier)
+			t.op.pc = 5
+			return t.ep.CounterWait(&bs.recvCount[slotRelease], t.op.tgt, "splitc: flat barrier release")
+		case 5:
+			t.ep.MarkWaitEnd(am.WaitBarrier)
+			t.syncExit(RegionBarrier)
+			t.op.pc = 0
+			return nil
+		}
+	}
+}
+
+// bcastBinomialT is bcastBinomial: the binomial tree under the
+// broadcast tag block. op.pc: 0 enter, 1 tree in progress.
+func (t *TProc) bcastBinomialT(root int, val uint64) (uint64, sim.PollableWait) {
+	if t.op.pc == 0 {
+		t.op.acc = val
+		t.op.pc = 1
+	}
+	v, wt := t.bcastTreeT(root, t.w.sel.bcastBase)
+	if wt != nil {
+		return 0, wt
+	}
+	t.op.pc = 0
+	return v, nil
+}
+
+// bcastChainT is bcastChain: forward the value around the rotated ring.
+// op.pc: 0 enter, 1 receiving, 2 forwarding.
+func (t *TProc) bcastChainT(root int, val uint64) (uint64, sim.PollableWait) {
+	w, me, P := t.w, t.ID(), t.P()
+	tag := w.sel.bcastBase
+	vid := (me - root + P) % P
+	for {
+		switch t.op.pc {
+		case 0:
+			t.op.acc = val
+			if vid != 0 {
+				t.op.pc = 1
+				continue
+			}
+			t.op.pc = 2
+		case 1:
+			v, wt := t.recvCollT(tag)
+			if wt != nil {
+				return 0, wt
+			}
+			t.op.acc = v
+			t.op.pc = 2
+		case 2:
+			if vid+1 < P {
+				if wt := t.sendCollT((me+1)%P, tag, t.op.acc); wt != nil {
+					return 0, wt
+				}
+			}
+			t.op.pc = 0
+			return t.op.acc, nil
+		}
+	}
+}
+
+// bcastFlatT is bcastFlat: the root sends to everyone directly, in
+// processor order. op.pc: 0 enter, 1 root fan-out (op.r), 2 receiving.
+func (t *TProc) bcastFlatT(root int, val uint64) (uint64, sim.PollableWait) {
+	w, me, P := t.w, t.ID(), t.P()
+	tag := w.sel.bcastBase
+	for {
+		switch t.op.pc {
+		case 0:
+			t.op.acc = val
+			if me == root {
+				t.op.r = 0
+				t.op.pc = 1
+				continue
+			}
+			t.op.pc = 2
+		case 1:
+			for t.op.r < P {
+				q := t.op.r
+				if q != root {
+					if wt := t.sendCollT(q, tag, t.op.acc); wt != nil {
+						return 0, wt
+					}
+				}
+				t.op.r++
+			}
+			t.op.pc = 0
+			return t.op.acc, nil
+		case 2:
+			v, wt := t.recvCollT(tag)
+			if wt != nil {
+				return 0, wt
+			}
+			t.op.pc = 0
+			return v, nil
+		}
+	}
+}
+
+// allReduceTreeT is allReduceTree: the reduce-broadcast tree adapted to
+// the engine's operator-code signature.
+func (t *TProc) allReduceTreeT(val uint64, op ReduceOp) (uint64, sim.PollableWait) {
+	return t.allReduceTreeFnT(val, op.fn())
+}
+
+// allReduceRecDoubleT is allReduceRecDouble: pairwise fold into the
+// power-of-two core, recursive-doubling exchange, unfold. op.pc: 0
+// enter, 1 folding out (send), 2 folded out (await result), 3 absorbing
+// the fold, 4 exchange send of round op.r, 5 exchange recv, 6 unfold.
+func (t *TProc) allReduceRecDoubleT(val uint64, op ReduceOp) (uint64, sim.PollableWait) {
+	opFn := op.fn()
+	w, me, P := t.w, t.ID(), t.P()
+	base := w.sel.arBase
+	pof2 := 1 << uint(highestBit(P))
+	rem := P - pof2
+	unfold := base + 1 + logRounds(P)
+	for {
+		switch t.op.pc {
+		case 0:
+			t.op.acc = val
+			if me < 2*rem && me&1 == 1 {
+				t.op.pc = 1
+				continue
+			}
+			if me < 2*rem {
+				t.op.pc = 3
+				continue
+			}
+			t.op.r = 0
+			t.op.pc = 4
+		case 1:
+			if wt := t.sendCollT(me-1, base, t.op.acc); wt != nil {
+				return 0, wt
+			}
+			t.op.pc = 2
+		case 2:
+			v, wt := t.recvCollT(unfold)
+			if wt != nil {
+				return 0, wt
+			}
+			t.op.pc = 0
+			return v, nil
+		case 3:
+			v, wt := t.recvCollT(base)
+			if wt != nil {
+				return 0, wt
+			}
+			t.op.acc = opFn(t.op.acc, v)
+			t.op.r = 0
+			t.op.pc = 4
+		case 4:
+			if 1<<t.op.r >= pof2 {
+				t.op.pc = 6
+				continue
+			}
+			vid := me - rem
+			if me < 2*rem {
+				vid = me / 2
+			}
+			pv := vid ^ (1 << t.op.r)
+			partner := pv + rem
+			if pv < rem {
+				partner = 2 * pv
+			}
+			if wt := t.sendCollT(partner, base+1+t.op.r, t.op.acc); wt != nil {
+				return 0, wt
+			}
+			t.op.pc = 5
+		case 5:
+			v, wt := t.recvCollT(base + 1 + t.op.r)
+			if wt != nil {
+				return 0, wt
+			}
+			t.op.acc = opFn(t.op.acc, v)
+			t.op.r++
+			t.op.pc = 4
+		case 6:
+			if me < 2*rem {
+				if wt := t.sendCollT(me+1, unfold, t.op.acc); wt != nil {
+					return 0, wt
+				}
+			}
+			t.op.pc = 0
+			return t.op.acc, nil
+		}
+	}
+}
+
+// allReduceFlatT is allReduceFlat: gather on processor 0 (via the
+// accumulating handler, since P-1 operands exceed any fixed ring),
+// direct fan-out of the total. op.pc: 0 enter, 1 root gathered, 2 root
+// release loop (op.r), 3 operand sent, 4 result received.
+func (t *TProc) allReduceFlatT(val uint64, op ReduceOp) (uint64, sim.PollableWait) {
+	w, me, P := t.w, t.ID(), t.P()
+	gtag := w.sel.arBase
+	rtag := w.sel.arBase + 1
+	for {
+		switch t.op.pc {
+		case 0:
+			if me == 0 {
+				c := t.cell(gtag)
+				t.ep.MarkWaitBegin(am.WaitBarrier)
+				t.op.pc = 1
+				return 0, t.ep.CounterWait(&c.cnt, c.exp+int64(P-1), "splitc: flat all-reduce gather")
+			}
+			t.op.pc = 3
+		case 1:
+			t.ep.MarkWaitEnd(am.WaitBarrier)
+			c := t.cell(gtag)
+			t.op.acc = op.fn()(val, c.acc)
+			c.acc = 0
+			c.exp += int64(P - 1)
+			t.op.r = 1
+			t.op.pc = 2
+		case 2:
+			for t.op.r < P {
+				if wt := t.sendCollT(t.op.r, rtag, t.op.acc); wt != nil {
+					return 0, wt
+				}
+				t.op.r++
+			}
+			t.op.pc = 0
+			return t.op.acc, nil
+		case 3:
+			if wt := t.sendCollAccT(0, gtag, val, op); wt != nil {
+				return 0, wt
+			}
+			t.op.pc = 4
+		case 4:
+			v, wt := t.recvCollT(rtag)
+			if wt != nil {
+				return 0, wt
+			}
+			t.op.pc = 0
+			return v, nil
+		}
+	}
+}

@@ -12,11 +12,12 @@ import (
 // paper's Split-C programs did), but downstream users of the library
 // routinely want these.
 
-// scanTag and gather/alltoall tags extend the collective tag space set up
-// in sync.go (reduce, ar-bcast, bcast occupy [0, 3·rounds)).
-func (w *World) scanTag(r int) int { return 3*logRounds(w.P()) + r }
-func (w *World) gatherTag() int    { return 4 * logRounds(w.P()) }
-func (w *World) allToAllTag() int  { return 4*logRounds(w.P()) + 1 }
+// scanTag and the gather/all-to-all tags address the blocks the world's
+// tag-space allocator laid out after the selected all-reduce and
+// broadcast algorithms' blocks (see coll.go).
+func (w *World) scanTag(r int) int { return w.sel.scanBase + r }
+func (w *World) gatherTag() int    { return w.sel.gatherBase }
+func (w *World) allToAllTag() int  { return w.sel.a2aBase }
 
 // ScanAdd returns the exclusive prefix sum of val across processors:
 // processor i receives the sum of processors 0..i-1's values (0 on

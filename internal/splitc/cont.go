@@ -46,13 +46,19 @@ import (
 // pins this under the NOW parameter set, whose clustered arrivals would
 // expose any poll-point divergence. See DESIGN.md §11.
 //
-// Collectives use per-processor operand cells (one value + cumulative
-// counters per tag) instead of the blocking layer's queues. Causality
-// within one collective episode plus per-pair FIFO delivery bound the
-// in-flight values per tag to one, which is what makes a single cell
-// sufficient — but it obliges callers to separate successive BroadcastT
-// episodes with a BarrierT (AllReduceT and ScanAddT are self-separating:
-// their own reduce/recv dependencies provide the causality).
+// Collectives use per-processor operand cells (a two-deep value ring +
+// cumulative counters per tag) instead of the blocking layer's queues.
+// Causality within one collective episode plus per-pair FIFO delivery
+// bound the in-flight values per tag to two (the recursive-doubling
+// butterfly's partner can run one episode ahead before the consumer
+// reads; every other algorithm stays at one), which is what makes the
+// ring sufficient — but it obliges callers to separate successive
+// broadcast episodes with a BarrierT (the all-reduce algorithms and
+// ScanAddT are self-separating: their own reduce/recv dependencies
+// provide the causality). The flat all-reduce's root gathers P-1
+// operands per episode, beyond any fixed ring — its senders use the
+// accumulating handler hCollAcc, which combines into the cell on
+// arrival instead of storing.
 
 // Task is the continuation form of an SPMD body: Step is called
 // repeatedly, and must either return a wait to park on (done=false) or
@@ -106,15 +112,20 @@ type opState struct {
 	out   []uint64
 }
 
-// collCell is one collective tag's operand slot: val holds the most
-// recent operand, cnt counts operands ever received, exp operands ever
-// consumed. With at most one operand in flight per tag (see the package
-// comment), cnt ≤ exp+1 always, so the single val is never overwritten
-// before its consumer reads it.
+// collCell is one collective tag's operand slot: vals is a two-deep
+// ring indexed by arrival/consumption counters (cnt counts operands ever
+// received, exp operands ever consumed). With at most two operands in
+// flight per tag (see the package comment), cnt ≤ exp+2 always — the
+// handler guards this — so a value is never overwritten before its
+// consumer reads it. acc accumulates operands delivered through the
+// combining handler hCollAcc (the flat all-reduce's gather), which
+// shares cnt/exp as pure counters; a tag uses one delivery mode or the
+// other, never both.
 type collCell struct {
-	val uint64
-	cnt int64
-	exp int64
+	vals [2]uint64
+	acc  uint64
+	cnt  int64
+	exp  int64
 }
 
 // RunTasks executes one Task per processor on the resumable runtime and
@@ -172,7 +183,18 @@ func (w *World) initContHandlers() {
 	}
 	w.hColl = func(ep *am.Endpoint, tok *am.Token, a am.Args) {
 		c := w.tp[ep.ID()].cell(int(a[0]))
-		c.val = a[1]
+		if c.cnt-c.exp >= 2 {
+			panic("splitc: collective operand ring overrun")
+		}
+		c.vals[c.cnt&1] = a[1]
+		c.cnt++
+	}
+	// hCollAcc combines the operand into the cell on arrival (a[2] is
+	// the ReduceOp code); used where one consumer drains an unbounded
+	// fan-in, so a fixed ring cannot hold the episode.
+	w.hCollAcc = func(ep *am.Endpoint, tok *am.Token, a am.Args) {
+		c := w.tp[ep.ID()].cell(int(a[0]))
+		c.acc = reduceApply(ReduceOp(a[2]), c.acc, a[1])
 		c.cnt++
 	}
 	// hReply lands every short round-trip reply: the requester's op cell
@@ -322,10 +344,10 @@ func (t *TProc) syncExit(r SyncRegion) {
 }
 
 // cell returns the collective operand cell for tag, allocating the tag
-// table on first collective use (reduce, ar-bcast, bcast, scan).
+// table (sized by the world's tag-space layout) on first collective use.
 func (t *TProc) cell(tag int) *collCell {
 	if t.cells == nil {
-		t.cells = make([]collCell, 4*logRounds(t.P()))
+		t.cells = make([]collCell, t.w.sel.numTags)
 	}
 	return &t.cells[tag]
 }
@@ -412,6 +434,12 @@ func (t *TProc) sendCollT(dst, tag int, val uint64) sim.PollableWait {
 	return t.requestT(dst, am.ClassSync, t.w.hColl, am.Args{uint64(tag), val})
 }
 
+// sendCollAccT ships one operand word for arrival-time combination
+// under op (the flat all-reduce's gather leg).
+func (t *TProc) sendCollAccT(dst, tag int, val uint64, op ReduceOp) sim.PollableWait {
+	return t.requestT(dst, am.ClassSync, t.w.hCollAcc, am.Args{uint64(tag), val, uint64(op)})
+}
+
 // recvCollT consumes the next operand under tag, waiting if it has not
 // arrived (recvColl's shape). op.sub: 0 fresh, 3 parked on the cell.
 func (t *TProc) recvCollT(tag int) (uint64, sim.PollableWait) {
@@ -419,8 +447,9 @@ func (t *TProc) recvCollT(tag int) (uint64, sim.PollableWait) {
 	if t.op.sub == 3 {
 		t.ep.MarkWaitEnd(am.WaitBarrier)
 		t.op.sub = 0
+		v := c.vals[c.exp&1]
 		c.exp++
-		return c.val, nil
+		return v, nil
 	}
 	// Park unconditionally: the engine steps the wait only once every
 	// processor at a smaller (clock, id) has run, which is exactly the
@@ -551,10 +580,14 @@ func (t *TProc) LockT(g GPtr) sim.PollableWait {
 // UnlockT is Unlock: release the lock word with a pipelined store.
 func (t *TProc) UnlockT(g GPtr) sim.PollableWait { return t.WriteWordT(g, 0) }
 
-// BarrierT is Barrier: store-sync, then the dissemination barrier.
-// op.pc: 0 enter, 1 store-sync complete, 2 round dispatch (op.r), 3
-// round notification received.
-func (t *TProc) BarrierT() sim.PollableWait {
+// BarrierT is Barrier: store-sync, then the world's selected barrier
+// algorithm.
+func (t *TProc) BarrierT() sim.PollableWait { return t.w.sel.barrier.runT(t) }
+
+// barrierDissemT is barrierDissem: store-sync, then the dissemination
+// barrier. op.pc: 0 enter, 1 store-sync complete, 2 round dispatch
+// (op.r), 3 round notification received.
+func (t *TProc) barrierDissemT() sim.PollableWait {
 	w, me, P := t.w, t.ID(), t.P()
 	for {
 		switch t.op.pc {
@@ -602,16 +635,13 @@ func (t *TProc) BarrierT() sim.PollableWait {
 }
 
 // bcastTreeT is bcastTree: the binomial broadcast sub-machine shared by
-// AllReduceT (ar=true) and BroadcastT. The value travels in op.acc.
-// op.bpc: 0 enter, 1 receiving, 2 forwarding (op.br round cursor).
-func (t *TProc) bcastTreeT(root int, ar bool) (uint64, sim.PollableWait) {
-	w, me, P := t.w, t.ID(), t.P()
+// the tree all-reduce and the binomial broadcast, parameterized by the
+// collective's tag block. The value travels in op.acc. op.bpc: 0 enter,
+// 1 receiving, 2 forwarding (op.br round cursor).
+func (t *TProc) bcastTreeT(root int, base int) (uint64, sim.PollableWait) {
+	me, P := t.ID(), t.P()
 	rounds := logRounds(P)
 	vid := (me - root + P) % P
-	tag := w.bcastTag
-	if ar {
-		tag = w.arBcastTag
-	}
 	for {
 		switch t.op.bpc {
 		case 0:
@@ -623,7 +653,7 @@ func (t *TProc) bcastTreeT(root int, ar bool) (uint64, sim.PollableWait) {
 			t.op.br = 0
 			t.op.bpc = 2
 		case 1:
-			v, wt := t.recvCollT(tag(t.op.br))
+			v, wt := t.recvCollT(base + t.op.br)
 			if wt != nil {
 				return 0, wt
 			}
@@ -635,7 +665,7 @@ func (t *TProc) bcastTreeT(root int, ar bool) (uint64, sim.PollableWait) {
 				r := t.op.br
 				child := vid + 1<<r
 				if vid < 1<<r && child < P {
-					if wt := t.sendCollT((child+root)%P, tag(r), t.op.acc); wt != nil {
+					if wt := t.sendCollT((child+root)%P, base+r, t.op.acc); wt != nil {
 						return 0, wt
 					}
 				}
@@ -647,16 +677,26 @@ func (t *TProc) bcastTreeT(root int, ar bool) (uint64, sim.PollableWait) {
 	}
 }
 
-// AllReduceT is AllReduce: binomial reduce to processor 0, binomial
-// broadcast back. opFn must be a stable function value (use a package-
-// level function, not a per-call closure) since the primitive is
-// re-entered with it. op.pc: 0 enter, 1 round dispatch, 2 sending the
-// partial, 3 receiving a partial, 4 broadcasting.
+// AllReduceT is AllReduce: the reduce-broadcast tree with a custom
+// operator. opFn must be a stable function value (use a package-level
+// function, not a per-call closure) since the primitive is re-entered
+// with it.
+//
+// Deprecated: custom operators always run the binomial tree, bypassing
+// the world's algorithm selection. Use AllReduceOpT with a ReduceOp (or
+// the AllReduceSumT/AllReduceMaxT wrappers).
 func (t *TProc) AllReduceT(val uint64, opFn func(a, b uint64) uint64) (uint64, sim.PollableWait) {
-	w, me, P := t.w, t.ID(), t.P()
-	if P == 1 {
+	if t.P() == 1 {
 		return val, nil
 	}
+	return t.allReduceTreeFnT(val, opFn)
+}
+
+// allReduceTreeFnT is allReduceTreeFn: binomial reduce to processor 0,
+// binomial broadcast back. op.pc: 0 enter, 1 round dispatch, 2 sending
+// the partial, 3 receiving a partial, 4 broadcasting.
+func (t *TProc) allReduceTreeFnT(val uint64, opFn func(a, b uint64) uint64) (uint64, sim.PollableWait) {
+	w, me, P := t.w, t.ID(), t.P()
 	for {
 		switch t.op.pc {
 		case 0:
@@ -693,7 +733,7 @@ func (t *TProc) AllReduceT(val uint64, opFn func(a, b uint64) uint64) (uint64, s
 			t.op.r++
 			t.op.pc = 1
 		case 4:
-			v, wt := t.bcastTreeT(0, true)
+			v, wt := t.bcastTreeT(0, w.arBcastTag(0))
 			if wt != nil {
 				return 0, wt
 			}
@@ -712,19 +752,29 @@ func maxOp(a, b uint64) uint64 {
 	return b
 }
 
+// AllReduceOpT is AllReduceOp: combine one word from every processor
+// with a built-in operator via the world's selected all-reduce
+// algorithm.
+func (t *TProc) AllReduceOpT(val uint64, op ReduceOp) (uint64, sim.PollableWait) {
+	if t.P() == 1 {
+		return val, nil
+	}
+	return t.w.sel.ar.runT(t, val, op)
+}
+
 // AllReduceSumT sums one word across processors.
 func (t *TProc) AllReduceSumT(v uint64) (uint64, sim.PollableWait) {
-	return t.AllReduceT(v, addOp)
+	return t.AllReduceOpT(v, OpSum)
 }
 
 // AllReduceMaxT takes the maximum of one word across processors.
 func (t *TProc) AllReduceMaxT(v uint64) (uint64, sim.PollableWait) {
-	return t.AllReduceT(v, maxOp)
+	return t.AllReduceOpT(v, OpMax)
 }
 
-// BroadcastT is Broadcast: distribute root's val to all processors.
-// Successive BroadcastT episodes must be separated by a BarrierT (see
-// the package comment). op.pc: 0 enter, 1 tree in progress.
+// BroadcastT is Broadcast: distribute root's val to all processors with
+// the world's selected broadcast algorithm. Successive BroadcastT
+// episodes must be separated by a BarrierT (see the package comment).
 func (t *TProc) BroadcastT(root int, val uint64) (uint64, sim.PollableWait) {
 	P := t.P()
 	if P == 1 {
@@ -733,16 +783,7 @@ func (t *TProc) BroadcastT(root int, val uint64) (uint64, sim.PollableWait) {
 	if root < 0 || root >= P {
 		panic(fmt.Sprintf("splitc: Broadcast root %d out of range", root))
 	}
-	if t.op.pc == 0 {
-		t.op.acc = val
-		t.op.pc = 1
-	}
-	v, wt := t.bcastTreeT(root, false)
-	if wt != nil {
-		return 0, wt
-	}
-	t.op.pc = 0
-	return v, nil
+	return t.w.sel.bcast.runT(t, root, val)
 }
 
 // ScanAddT is ScanAdd: the exclusive prefix sum, Hillis-Steele.

@@ -10,8 +10,8 @@
 //     store counter (ClassWrite)
 //   - BulkGet      — short request + bulk reply per ≤4 KB fragment
 //   - BulkPut      — one bulk fragment per ≤4 KB (ClassWrite)
-//   - Barrier      — store-sync, then a dissemination barrier in
-//     ⌈log2 P⌉ rounds of short sync messages
+//   - Barrier      — store-sync, then the world's selected barrier
+//     algorithm (a ⌈log2 P⌉-round dissemination barrier by default)
 //   - Lock/Unlock  — round-trip test-and-set / one-way clear
 //   - FetchAdd     — round trip (ClassSync)
 //
@@ -41,6 +41,10 @@ type World struct {
 	// collective state, one per processor.
 	coll []collState
 
+	// sel is the resolved collective selection and tag-space layout
+	// (see coll.go), fixed at construction.
+	sel collSel
+
 	// phases accumulates per-label processor time (see phase.go).
 	phases phaseAccount
 
@@ -52,6 +56,7 @@ type World struct {
 	hWrite       am.Handler
 	hBarrier     am.Handler
 	hColl        am.Handler
+	hCollAcc     am.Handler
 	hReply       am.Handler
 	hReadReq     am.Handler
 	hFetchAdd    am.Handler
@@ -109,46 +114,74 @@ type collState struct {
 	vals [][]uint64
 }
 
+// Config collects every World construction knob. The zero value of each
+// field is a valid default (but Procs and Params must be set).
+type Config struct {
+	// Procs is the processor count.
+	Procs int
+	// Params is the LogGP machine.
+	Params logp.Params
+	// Seed seeds the per-processor PRNGs.
+	Seed int64
+	// TimeLimit bounds virtual time; runs exceeding it fail with
+	// sim.ErrTimeLimit. Zero means unlimited.
+	TimeLimit sim.Time
+	// Collectives selects the collective algorithms (see the Collectives
+	// type); the zero value keeps the historical defaults.
+	Collectives Collectives
+}
+
 // NewWorld builds a world with p processors and the given network.
 func NewWorld(p int, params logp.Params, seed int64) (*World, error) {
-	return NewWorldLimit(p, params, seed, 0)
+	return NewWorldCfg(Config{Procs: p, Params: params, Seed: seed})
 }
 
 // NewWorldLimit is NewWorld with a virtual-time limit; runs exceeding it
 // fail with sim.ErrTimeLimit.
 func NewWorldLimit(p int, params logp.Params, seed int64, limit sim.Time) (*World, error) {
-	eng := sim.New(sim.Config{Procs: p, Seed: seed, TimeLimit: limit})
-	m, err := am.NewMachine(eng, params)
+	return NewWorldCfg(Config{Procs: p, Params: params, Seed: seed, TimeLimit: limit})
+}
+
+// NewWorldCfg builds a world from a full Config, resolving the
+// collective selection (including "auto" fields, tuned against cfg's own
+// machine) before the first processor runs.
+func NewWorldCfg(cfg Config) (*World, error) {
+	sel, err := resolveCollectives(cfg.Collectives, cfg.Procs, cfg.Params)
 	if err != nil {
 		return nil, err
 	}
-	w := &World{eng: eng, m: m}
-	w.mem = make([][]uint64, p)
-	w.barrier = make([]barrierState, p)
-	w.coll = make([]collState, p)
+	eng := sim.New(sim.Config{Procs: cfg.Procs, Seed: cfg.Seed, TimeLimit: cfg.TimeLimit})
+	m, err := am.NewMachine(eng, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{eng: eng, m: m, sel: sel}
+	w.mem = make([][]uint64, cfg.Procs)
+	w.barrier = make([]barrierState, cfg.Procs)
+	w.coll = make([]collState, cfg.Procs)
 	return w, nil
 }
 
-// barrierOf returns processor id's barrier state, allocating its round
-// counters on first touch. Lazy so that a million-processor world pays
-// for synchronization state only on processors that synchronize; the
-// allocation happens outside virtual time, so laziness cannot perturb a
-// schedule.
+// barrierOf returns processor id's barrier state, allocating the slots
+// the selected barrier algorithm needs on first touch. Lazy so that a
+// million-processor world pays for synchronization state only on
+// processors that synchronize; the allocation happens outside virtual
+// time, so laziness cannot perturb a schedule.
 func (w *World) barrierOf(id int) *barrierState {
 	bs := &w.barrier[id]
 	if bs.recvCount == nil {
-		bs.recvCount = make([]int64, logRounds(w.P()))
+		bs.recvCount = make([]int64, w.sel.barSlots)
 	}
 	return bs
 }
 
 // collOf returns processor id's collective operand queues, allocating
-// the tag table on first touch (reduce, ar-bcast, bcast, scan, gather,
-// all-to-all tags). Same laziness rationale as barrierOf.
+// the tag table (sized by the world's tag-space layout; see coll.go) on
+// first touch. Same laziness rationale as barrierOf.
 func (w *World) collOf(id int) *collState {
 	cs := &w.coll[id]
 	if cs.vals == nil {
-		cs.vals = make([][]uint64, 4*logRounds(w.P())+2)
+		cs.vals = make([][]uint64, w.sel.numTags)
 	}
 	return cs
 }

@@ -7,16 +7,21 @@ import (
 	"repro/internal/sim"
 )
 
-// Barrier synchronizes all processors. It first waits for the caller's
-// outstanding stores (Split-C barriers imply store completion), then runs a
-// dissemination barrier: in round r the processor notifies (id+2^r) mod P
-// and waits for the notification from (id-2^r) mod P. ⌈log2 P⌉ rounds of
-// short sync messages; round-trip free but latency-sensitive.
+// Barrier synchronizes all processors with the world's selected barrier
+// algorithm (Config.Collectives; the dissemination barrier by default).
+// Every algorithm first waits for the caller's outstanding stores
+// (Split-C barriers imply store completion).
+func (p *Proc) Barrier() { p.w.sel.barrier.run(p) }
+
+// barrierDissem is the dissemination barrier: in round r the processor
+// notifies (id+2^r) mod P and waits for the notification from (id-2^r)
+// mod P. ⌈log2 P⌉ rounds of short sync messages; round-trip free but
+// latency-sensitive.
 //
 // Round counters are cumulative, which makes the algorithm robust to
 // processors being a full episode apart: per-pair FIFO delivery means
 // "count ≥ episode" implies all earlier episodes arrived too.
-func (p *Proc) Barrier() {
+func (p *Proc) barrierDissem() {
 	p.syncEnter(RegionBarrier)
 	p.StoreSync()
 	w := p.w
@@ -45,12 +50,13 @@ func (p *Proc) Barrier() {
 	p.syncExit(RegionBarrier)
 }
 
-// collective message tags: reduce rounds, then all-reduce broadcast
-// rounds, then standalone broadcast rounds (scan/gather/all-to-all tags
-// continue the space in collectives.go).
-func (w *World) reduceTag(r int) int  { return r }
-func (w *World) arBcastTag(r int) int { return logRounds(w.P()) + r }
-func (w *World) bcastTag(r int) int   { return 2*logRounds(w.P()) + r }
+// Collective message tags come from the world's tag-space allocator
+// (see coll.go): the selected all-reduce and broadcast algorithms each
+// own a disjoint block, and scan/gather/all-to-all continue the space in
+// collectives.go. reduceTag and arBcastTag address the tree all-reduce's
+// two sub-blocks (reduce rounds, then its broadcast rounds).
+func (w *World) reduceTag(r int) int  { return w.sel.arBase + r }
+func (w *World) arBcastTag(r int) int { return w.sel.arBase + logRounds(w.P()) + r }
 
 // sendColl ships one operand word to dst under the given tag.
 func (p *Proc) sendColl(dst, tag int, val uint64) {
@@ -72,15 +78,25 @@ func (p *Proc) recvColl(tag int) uint64 {
 
 // AllReduce combines one word from every processor with op (which must be
 // associative and commutative) and returns the result on all processors.
-// Binomial-tree reduce to processor 0 followed by a binomial broadcast:
-// 2·⌈log2 P⌉ message rounds.
+//
+// Deprecated: custom operators always run the binomial reduce-broadcast
+// tree, bypassing the world's algorithm selection. Use AllReduceOp with
+// a ReduceOp (or the AllReduceSum/AllReduceMax wrappers), which route
+// through the selected algorithm.
 func (p *Proc) AllReduce(val uint64, op func(a, b uint64) uint64) uint64 {
+	if p.P() == 1 {
+		return val
+	}
+	return p.allReduceTreeFn(val, op)
+}
+
+// allReduceTreeFn is the reduce-broadcast tree all-reduce: binomial-tree
+// reduce to processor 0 followed by a binomial broadcast, 2·⌈log2 P⌉
+// message rounds.
+func (p *Proc) allReduceTreeFn(val uint64, op func(a, b uint64) uint64) uint64 {
 	w := p.w
 	me := p.ID()
 	P := p.P()
-	if P == 1 {
-		return val
-	}
 	acc := val
 	// Reduce toward processor 0: at round r, processors with bit r set
 	// send their partial to the neighbor below and drop out; the others
@@ -96,15 +112,16 @@ func (p *Proc) AllReduce(val uint64, op func(a, b uint64) uint64) uint64 {
 		}
 	}
 	// Broadcast the total from processor 0.
-	return p.bcastTree(0, acc, w.arBcastTag)
+	return p.bcastTree(0, acc, w.arBcastTag(0))
 }
 
 // bcastTree runs a binomial broadcast rooted at root; acc is the value at
-// the root (ignored elsewhere). tag maps a round to a message tag so
-// different collectives don't interleave. Virtual ids are rotated so the
-// root plays id 0: vid receives in the round matching its highest set bit
-// and forwards in every later round r to vid+2^r.
-func (p *Proc) bcastTree(root int, acc uint64, tag func(int) int) uint64 {
+// the root (ignored elsewhere). base is the collective's tag block (tag
+// base+r for round r) so different collectives don't interleave. Virtual
+// ids are rotated so the root plays id 0: vid receives in the round
+// matching its highest set bit and forwards in every later round r to
+// vid+2^r.
+func (p *Proc) bcastTree(root int, acc uint64, base int) uint64 {
 	me := p.ID()
 	P := p.P()
 	rounds := logRounds(P)
@@ -112,20 +129,20 @@ func (p *Proc) bcastTree(root int, acc uint64, tag func(int) int) uint64 {
 	first := 0
 	if vid != 0 {
 		j := highestBit(vid)
-		acc = p.recvColl(tag(j))
+		acc = p.recvColl(base + j)
 		first = j + 1
 	}
 	for r := first; r < rounds; r++ {
 		child := vid + 1<<r
 		if vid < 1<<r && child < P {
-			p.sendColl((child+root)%P, tag(r), acc)
+			p.sendColl((child+root)%P, base+r, acc)
 		}
 	}
 	return acc
 }
 
-// Broadcast distributes root's val to all processors (binomial tree,
-// ⌈log2 P⌉ rounds of short sync messages).
+// Broadcast distributes root's val to all processors with the world's
+// selected broadcast algorithm (binomial tree by default).
 func (p *Proc) Broadcast(root int, val uint64) uint64 {
 	P := p.P()
 	if P == 1 {
@@ -134,7 +151,7 @@ func (p *Proc) Broadcast(root int, val uint64) uint64 {
 	if root < 0 || root >= P {
 		panic(fmt.Sprintf("splitc: Broadcast root %d out of range", root))
 	}
-	return p.bcastTree(root, val, p.w.bcastTag)
+	return p.w.sel.bcast.run(p, root, val)
 }
 
 func highestBit(v int) int {
@@ -146,20 +163,21 @@ func highestBit(v int) int {
 	return j
 }
 
-// AllReduceSum sums one word across processors.
-func (p *Proc) AllReduceSum(v uint64) uint64 {
-	return p.AllReduce(v, func(a, b uint64) uint64 { return a + b })
+// AllReduceOp combines one word from every processor with a built-in
+// operator, using the world's selected all-reduce algorithm, and returns
+// the result everywhere.
+func (p *Proc) AllReduceOp(val uint64, op ReduceOp) uint64 {
+	if p.P() == 1 {
+		return val
+	}
+	return p.w.sel.ar.run(p, val, op)
 }
 
+// AllReduceSum sums one word across processors.
+func (p *Proc) AllReduceSum(v uint64) uint64 { return p.AllReduceOp(v, OpSum) }
+
 // AllReduceMax takes the maximum of one word across processors.
-func (p *Proc) AllReduceMax(v uint64) uint64 {
-	return p.AllReduce(v, func(a, b uint64) uint64 {
-		if a > b {
-			return a
-		}
-		return b
-	})
-}
+func (p *Proc) AllReduceMax(v uint64) uint64 { return p.AllReduceOp(v, OpMax) }
 
 // FetchAdd atomically adds delta to the word at g and returns the previous
 // value. Remote: one sync-class round trip; local: direct.

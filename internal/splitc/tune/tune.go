@@ -1,0 +1,319 @@
+// Package tune holds closed-form LogGP cost models for the collective
+// algorithms registered in internal/splitc, and the auto-tuner that
+// picks a winner per (P, message size, machine L/o/g/G) — the program of
+// the two Barchet-Estefanel papers ("Performance Characterisation of
+// Intra-Cluster Collective Communications", "Fast Tuning of
+// Intra-Cluster Collective Communications") applied to this simulator's
+// primitives.
+//
+// The package is the naming authority for the algorithm space: splitc's
+// registry uses these constants, and a splitc test pins the two lists
+// against each other (tune cannot import splitc — splitc imports tune to
+// resolve "auto" selections at World construction).
+//
+// Each model is the critical-path cost of one collective episode under
+// the LogGP short-message rules the simulator charges: a message costs
+// o_send on the sender's CPU, L on the wire, and o_recv on the
+// receiver's CPU; back-to-back sends from one processor are paced by
+// max(g, o_send); back-to-back receives on one processor serialize on
+// o_recv. The models are evaluated analytically (no event simulation) —
+// small loops over rounds or nodes, exact for the schedules the
+// algorithms actually issue. Messages larger than one word add a
+// per-byte G term to the wire time.
+package tune
+
+import (
+	"fmt"
+
+	"repro/internal/logp"
+	"repro/internal/sim"
+)
+
+// Algorithm names. Barrier, broadcast, and all-reduce draw from separate
+// name spaces (so "tree" and "flat" may appear in more than one).
+const (
+	// BarrierDissemination is the default barrier: ⌈log2 P⌉ rounds in
+	// which processor i notifies (i+2^r) mod P — every processor sends
+	// and receives one message per round.
+	BarrierDissemination = "dissemination"
+	// BarrierTree gathers arrivals up a binomial tree and broadcasts the
+	// release back down it: 2·⌈log2 P⌉ sequential hops on the critical
+	// path, but only P-1 messages per phase.
+	BarrierTree = "tree"
+	// BarrierFlat counts all P-1 arrivals on processor 0 and releases
+	// everyone with P-1 direct messages: depth 2, but the root serializes
+	// on o_recv and g.
+	BarrierFlat = "flat"
+
+	// BcastBinomial is the default broadcast: a binomial tree rooted at
+	// the source, ⌈log2 P⌉ rounds.
+	BcastBinomial = "binomial"
+	// BcastChain forwards the value along a ring: P-1 sequential hops,
+	// the pipelined-segmented shape for large messages.
+	BcastChain = "chain"
+	// BcastFlat has the root send to every other processor directly:
+	// depth 1, serialized on the root's max(g, o_send).
+	BcastFlat = "flat"
+
+	// AllReduceTree is the default all-reduce: binomial reduce to
+	// processor 0 followed by a binomial broadcast.
+	AllReduceTree = "tree"
+	// AllReduceRecDouble is recursive doubling (the butterfly): ⌊log2 P⌋
+	// pairwise exchange rounds, plus a fold/unfold step when P is not a
+	// power of two.
+	AllReduceRecDouble = "recdouble"
+	// AllReduceFlat gathers every operand on processor 0 and broadcasts
+	// the result directly: depth 2, root-serialized.
+	AllReduceFlat = "flat"
+)
+
+// Barriers lists the barrier algorithm names, default first.
+func Barriers() []string {
+	return []string{BarrierDissemination, BarrierTree, BarrierFlat}
+}
+
+// Broadcasts lists the broadcast algorithm names, default first.
+func Broadcasts() []string {
+	return []string{BcastBinomial, BcastChain, BcastFlat}
+}
+
+// AllReduces lists the all-reduce algorithm names, default first.
+func AllReduces() []string {
+	return []string{AllReduceTree, AllReduceRecDouble, AllReduceFlat}
+}
+
+// Model is the effective short-message LogGP machine the cost formulas
+// run on.
+type Model struct {
+	OSend    sim.Time
+	ORecv    sim.Time
+	Gap      sim.Time
+	Latency  sim.Time
+	GPerByte float64 // nanoseconds per byte beyond the first word
+}
+
+// ModelOf extracts the effective (post-delta) machine from params.
+func ModelOf(p logp.Params) Model {
+	return Model{
+		OSend:    p.EffOSend(),
+		ORecv:    p.EffORecv(),
+		Gap:      p.EffGap(),
+		Latency:  p.EffLatency(),
+		GPerByte: p.EffGPerByte(),
+	}
+}
+
+// wordBytes is the payload a single short message carries; larger
+// collective payloads pay a G term per extra byte.
+const wordBytes = 8
+
+// wire is the network time of one message of the given size.
+func (m Model) wire(bytes int) sim.Time {
+	w := m.Latency
+	if bytes > wordBytes {
+		w += sim.Time(float64(bytes-wordBytes) * m.GPerByte)
+	}
+	return w
+}
+
+// hop is the end-to-end time of one message: send CPU, wire, receive CPU.
+func (m Model) hop(bytes int) sim.Time {
+	return m.OSend + m.wire(bytes) + m.ORecv
+}
+
+// pace is the spacing between back-to-back injections from one sender.
+func (m Model) pace() sim.Time {
+	if m.Gap > m.OSend {
+		return m.Gap
+	}
+	return m.OSend
+}
+
+// Selection is the tuner's pick, one algorithm name per primitive.
+type Selection struct {
+	Barrier   string
+	Broadcast string
+	AllReduce string
+}
+
+// Select returns the model-minimal algorithm per primitive for a
+// P-processor machine exchanging bytes-sized operands. Ties go to the
+// first-listed (default) algorithm, so the tuner never trades the
+// proven default for an equal-cost alternative.
+func Select(p, bytes int, params logp.Params) Selection {
+	m := ModelOf(params)
+	return Selection{
+		Barrier:   argmin(Barriers(), func(a string) sim.Time { c, _ := BarrierCost(a, p, m); return c }),
+		Broadcast: argmin(Broadcasts(), func(a string) sim.Time { c, _ := BroadcastCost(a, p, bytes, m); return c }),
+		AllReduce: argmin(AllReduces(), func(a string) sim.Time { c, _ := AllReduceCost(a, p, bytes, m); return c }),
+	}
+}
+
+func argmin(names []string, cost func(string) sim.Time) string {
+	best := names[0]
+	bestC := cost(best)
+	for _, n := range names[1:] {
+		if c := cost(n); c < bestC {
+			best, bestC = n, c
+		}
+	}
+	return best
+}
+
+// BarrierCost models one barrier episode (store-sync excluded: the
+// models compare synchronization schedules, not the caller's outstanding
+// stores).
+func BarrierCost(alg string, p int, m Model) (sim.Time, error) {
+	if p < 1 {
+		return 0, fmt.Errorf("tune: barrier cost needs p ≥ 1, got %d", p)
+	}
+	if p == 1 {
+		return 0, nil
+	}
+	switch alg {
+	case BarrierDissemination:
+		// Every round each processor sends one notification and waits
+		// for one; rounds serialize on the full hop (the wait closes the
+		// round) plus the receive/send overlap on one CPU.
+		return sim.Time(rounds(p)) * m.hop(wordBytes), nil
+	case BarrierTree:
+		// Gather up the binomial tree, release back down it.
+		up := binomialGather(p, wordBytes, m)
+		return up + binomialBcast(p, wordBytes, m), nil
+	case BarrierFlat:
+		// All P-1 arrivals serialize on the root's o_recv, then a flat
+		// release fan-out.
+		gather := m.OSend + m.wire(wordBytes) + sim.Time(p-1)*m.ORecv
+		return gather + flatBcast(p, wordBytes, m), nil
+	}
+	return 0, fmt.Errorf("tune: unknown barrier algorithm %q", alg)
+}
+
+// BroadcastCost models one broadcast episode of a bytes-sized payload.
+func BroadcastCost(alg string, p, bytes int, m Model) (sim.Time, error) {
+	if p < 1 {
+		return 0, fmt.Errorf("tune: broadcast cost needs p ≥ 1, got %d", p)
+	}
+	if p == 1 {
+		return 0, nil
+	}
+	switch alg {
+	case BcastBinomial:
+		return binomialBcast(p, bytes, m), nil
+	case BcastChain:
+		return sim.Time(p-1) * m.hop(bytes), nil
+	case BcastFlat:
+		return flatBcast(p, bytes, m), nil
+	}
+	return 0, fmt.Errorf("tune: unknown broadcast algorithm %q", alg)
+}
+
+// AllReduceCost models one all-reduce episode of bytes-sized operands.
+func AllReduceCost(alg string, p, bytes int, m Model) (sim.Time, error) {
+	if p < 1 {
+		return 0, fmt.Errorf("tune: all-reduce cost needs p ≥ 1, got %d", p)
+	}
+	if p == 1 {
+		return 0, nil
+	}
+	switch alg {
+	case AllReduceTree:
+		return binomialGather(p, bytes, m) + binomialBcast(p, bytes, m), nil
+	case AllReduceRecDouble:
+		pof2 := 1 << uint(floorLog2(p))
+		c := sim.Time(floorLog2(pof2)) * m.hop(bytes)
+		if p != pof2 {
+			c += 2 * m.hop(bytes) // fold into and unfold out of the power-of-two core
+		}
+		return c, nil
+	case AllReduceFlat:
+		gather := m.OSend + m.wire(bytes) + sim.Time(p-1)*m.ORecv
+		return gather + flatBcast(p, bytes, m), nil
+	}
+	return 0, fmt.Errorf("tune: unknown all-reduce algorithm %q", alg)
+}
+
+// rounds is ⌈log2 p⌉ (≥ 1), the dissemination/binomial round count.
+func rounds(p int) int {
+	r := 0
+	for 1<<r < p {
+		r++
+	}
+	if r == 0 {
+		r = 1
+	}
+	return r
+}
+
+func floorLog2(p int) int {
+	j := -1
+	for p != 0 {
+		p >>= 1
+		j++
+	}
+	return j
+}
+
+// binomialBcast evaluates the binomial broadcast's critical path exactly
+// for the schedule splitc issues: virtual id v receives from its parent
+// (v minus its highest set bit), which sends to its children in round
+// order, injections paced by max(g, o_send). O(p) node evaluation.
+func binomialBcast(p, bytes int, m Model) sim.Time {
+	ready := make([]sim.Time, p) // time vid v holds the value
+	var worst sim.Time
+	for v := 1; v < p; v++ {
+		hb := floorLog2(v)
+		parent := v &^ (1 << uint(hb))
+		// The parent's send to v is its k-th (0-based) injection, where k
+		// counts the parent's earlier rounds that had an in-range child.
+		first := 0
+		if parent != 0 {
+			first = floorLog2(parent) + 1
+		}
+		k := 0
+		for r := first; r < hb; r++ {
+			if parent+1<<r < p {
+				k++
+			}
+		}
+		depart := ready[parent] + m.OSend + sim.Time(k)*m.pace()
+		ready[v] = depart + m.wire(bytes) + m.ORecv
+		if ready[v] > worst {
+			worst = ready[v]
+		}
+	}
+	return worst
+}
+
+// binomialGather is the mirror image: leaves send first, every node
+// forwards once all children arrived, receives serialize on o_recv.
+func binomialGather(p, bytes int, m Model) sim.Time {
+	done := gatherDone(0, p, bytes, m)
+	return done
+}
+
+// gatherDone returns the time node v (virtual id, root 0) has absorbed
+// its whole subtree. Children are v+2^r for each round r with v < 2^r;
+// child arrivals serialize on the receiver's o_recv.
+func gatherDone(v, p, bytes int, m Model) sim.Time {
+	var t sim.Time
+	for r := 0; 1<<r < p; r++ {
+		child := v + 1<<r
+		if v >= 1<<r || child >= p {
+			continue
+		}
+		sent := gatherDone(child, p, bytes, m) + m.OSend
+		arrive := sent + m.wire(bytes)
+		if arrive > t {
+			t = arrive
+		}
+		t += m.ORecv
+	}
+	return t
+}
+
+// flatBcast is the root-sends-everyone fan-out: the last of P-1
+// injections leaves after P-2 pacing gaps.
+func flatBcast(p, bytes int, m Model) sim.Time {
+	return m.OSend + sim.Time(p-2)*m.pace() + m.wire(bytes) + m.ORecv
+}

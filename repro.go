@@ -60,6 +60,7 @@ import (
 	"repro/internal/run"
 	"repro/internal/sim"
 	"repro/internal/splitc"
+	"repro/internal/splitc/tune"
 	"repro/internal/trace"
 )
 
@@ -77,6 +78,19 @@ type (
 	Proc = splitc.Proc
 	// GPtr is a global pointer into the cluster's address space.
 	GPtr = splitc.GPtr
+	// WorldConfig collects every World construction knob (processor
+	// count, machine, seed, time limit, collective selection).
+	WorldConfig = splitc.Config
+	// Collectives names the collective algorithm per primitive (barrier,
+	// broadcast, all-reduce). Fields take the names from
+	// BarrierAlgorithms and friends, or CollAuto for the LogGP
+	// auto-tuner's pick; the zero value keeps the historical defaults.
+	Collectives = splitc.Collectives
+	// ReduceOp identifies a built-in all-reduce operator (OpSum, OpMax).
+	ReduceOp = splitc.ReduceOp
+	// TuneSelection is the collective auto-tuner's pick, one algorithm
+	// name per primitive.
+	TuneSelection = tune.Selection
 	// App is one benchmark application.
 	App = apps.App
 	// AppConfig parameterizes a benchmark run.
@@ -181,8 +195,62 @@ func NewWorld(p int, params Params, seed int64) (*World, error) {
 
 // NewWorldLimit is NewWorld with a virtual-time limit; a run that exceeds
 // it fails with a time-limit error (used to detect livelock).
+//
+// Deprecated: use NewWorldCfg, which exposes every construction knob
+// (the time limit and the collective selection included).
 func NewWorldLimit(p int, params Params, seed int64, limit Time) (*World, error) {
 	return splitc.NewWorldLimit(p, params, seed, limit)
+}
+
+// NewWorldCfg builds a cluster from a full WorldConfig, resolving the
+// collective selection (including CollAuto fields, tuned against the
+// config's own machine) at construction.
+func NewWorldCfg(cfg WorldConfig) (*World, error) { return splitc.NewWorldCfg(cfg) }
+
+// Collective selection names and operators.
+const (
+	// CollAuto, in any Collectives field, asks the LogGP auto-tuner to
+	// pick the model-minimal algorithm for the world's (P, L, o, g, G).
+	CollAuto = splitc.CollAuto
+	// OpSum and OpMax are the built-in all-reduce operators.
+	OpSum = splitc.OpSum
+	OpMax = splitc.OpMax
+)
+
+// BarrierAlgorithms lists the registered barrier algorithm names,
+// default first.
+func BarrierAlgorithms() []string { return splitc.BarrierAlgorithms() }
+
+// BroadcastAlgorithms lists the registered broadcast algorithm names,
+// default first.
+func BroadcastAlgorithms() []string { return splitc.BroadcastAlgorithms() }
+
+// AllReduceAlgorithms lists the registered all-reduce algorithm names,
+// default first.
+func AllReduceAlgorithms() []string { return splitc.AllReduceAlgorithms() }
+
+// TuneSelect returns the auto-tuner's model-minimal algorithm per
+// primitive for a p-processor machine exchanging bytes-sized operands.
+func TuneSelect(p, bytes int, params Params) TuneSelection {
+	return tune.Select(p, bytes, params)
+}
+
+// TuneBarrierCost is the closed-form LogGP cost model of one barrier
+// episode under the named algorithm.
+func TuneBarrierCost(alg string, p int, params Params) (Time, error) {
+	return tune.BarrierCost(alg, p, tune.ModelOf(params))
+}
+
+// TuneBroadcastCost is the cost model of one broadcast episode of a
+// bytes-sized payload under the named algorithm.
+func TuneBroadcastCost(alg string, p, bytes int, params Params) (Time, error) {
+	return tune.BroadcastCost(alg, p, bytes, tune.ModelOf(params))
+}
+
+// TuneAllReduceCost is the cost model of one all-reduce episode of
+// bytes-sized operands under the named algorithm.
+func TuneAllReduceCost(alg string, p, bytes int, params Params) (Time, error) {
+	return tune.AllReduceCost(alg, p, bytes, tune.ModelOf(params))
 }
 
 // NewProfiler builds a stall-attribution profiler for a procs-processor

@@ -64,8 +64,8 @@ func TestPublicSuite(t *testing.T) {
 }
 
 func TestPublicExperiment(t *testing.T) {
-	if got := len(repro.Experiments()); got != 19 {
-		t.Errorf("%d experiments, want 19", got)
+	if got := len(repro.Experiments()); got != 20 {
+		t.Errorf("%d experiments, want 20", got)
 	}
 	tab, err := repro.RunExperiment("table1", repro.Options{Quick: true})
 	if err != nil {
