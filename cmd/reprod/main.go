@@ -1,0 +1,353 @@
+// Command reprod is the simulation-as-a-service daemon: it serves the
+// run-plan engine over HTTP/JSON with a persistent content-addressed
+// result cache (internal/service), so repeated and concurrent requests
+// for the same design point cost one simulation total.
+//
+//	reprod serve [-addr :8080] [-cache .reprod-cache] [-workers N] [-max-queue N] [-addr-file path]
+//	reprod loadtest [-addr URL] [-n 5000] [-concurrency 1000] [-hot 0.75] [-out results/BENCH_service.json]
+//
+// serve binds the daemon; -addr-file records the actual listen address
+// (useful with ':0' in CI). loadtest drives a daemon — the one at -addr,
+// or a self-spawned in-process one when -addr is empty — with seeded
+// concurrent clients over a mixed hot/cold key population, honors 429
+// backpressure via Retry-After, and writes a machine-readable report
+// (requests/sec, client latency percentiles, server cache hit rate).
+//
+// Endpoints: POST /v1/run, /v1/sweep, /v1/experiment (add ?stream=1 for
+// SSE progress), GET /v1/stats, /healthz. Example:
+//
+//	curl -s localhost:8080/v1/run -d '{"app":"radix","procs":32,"scale":0.00390625,"seed":1}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serveCmd(os.Args[2:])
+	case "loadtest":
+		err = loadtestCmd(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "reprod: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprod: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  reprod serve    [-addr :8080] [-cache DIR] [-workers N] [-max-queue N] [-addr-file PATH]
+  reprod loadtest [-addr URL] [-cache DIR] [-n N] [-concurrency N] [-hot FRAC] [-seed N] [-out PATH]`)
+}
+
+// serveCmd binds the daemon and runs until SIGINT/SIGTERM, then shuts
+// down gracefully: HTTP first, then the worker pool drain.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address (':0' picks a free port)")
+		cacheDir = fs.String("cache", ".reprod-cache", "persistent result store directory")
+		workers  = fs.Int("workers", 0, "concurrent simulations across all clients (0 = GOMAXPROCS)")
+		maxQueue = fs.Int("max-queue", 0, "admission bound on queued runs before 429 (0 = 1024)")
+		addrFile = fs.String("addr-file", "", "write the actual listen address to this file")
+	)
+	fs.Parse(args)
+
+	s, err := service.New(service.Config{CacheDir: *cacheDir, Workers: *workers, MaxQueue: *maxQueue})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "reprod: serving on %s (cache %s)\n", ln.Addr(), *cacheDir)
+
+	hs := &http.Server{Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "reprod: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err = hs.Shutdown(shutdownCtx)
+	s.Close()
+	return err
+}
+
+// report is the machine-readable loadtest result (BENCH_service.json).
+type report struct {
+	Schema      int     `json:"schema"`
+	GoVersion   string  `json:"go_version"`
+	GOARCH      string  `json:"goarch"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	HotFrac     float64 `json:"hot_frac"`
+	HotKeys     int     `json:"hot_keys"`
+	ColdKeys    int     `json:"cold_keys"`
+	Seed        int64   `json:"seed"`
+
+	WallMs     float64 `json:"wall_ms"`
+	ReqPerSec  float64 `json:"req_per_sec"`
+	OK         int64   `json:"ok"`
+	Retries429 int64   `json:"retries_429"`
+	Errors     int64   `json:"errors"`
+
+	LatencyUs latencyReport `json:"latency_us"`
+
+	// Server-side view after the run.
+	HitRate   float64 `json:"hit_rate"`
+	DiskHits  int64   `json:"disk_hits"`
+	Computed  int64   `json:"computed"`
+	Coalesced int64   `json:"coalesced"`
+	Rejected  int64   `json:"rejected"`
+	MaxDepth  int     `json:"max_queue_depth"`
+	Workers   int     `json:"workers"`
+}
+
+// latencyReport holds exact client-observed percentiles (the loadtest
+// keeps every sample, unlike the server's bucketed histograms).
+type latencyReport struct {
+	MeanUs int64 `json:"mean"`
+	P50Us  int64 `json:"p50"`
+	P90Us  int64 `json:"p90"`
+	P99Us  int64 `json:"p99"`
+	MaxUs  int64 `json:"max"`
+}
+
+// loadtestCmd drives a daemon with seeded concurrent clients over a
+// mixed hot/cold key population and writes the report.
+func loadtestCmd(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", "", "daemon base URL; empty spawns an in-process daemon")
+		cacheDir    = fs.String("cache", "", "cache dir for the in-process daemon (empty = fresh temp dir)")
+		n           = fs.Int("n", 5000, "total requests")
+		concurrency = fs.Int("concurrency", 1000, "concurrent client goroutines")
+		hotFrac     = fs.Float64("hot", 0.75, "fraction of requests aimed at the hot key set")
+		hotKeys     = fs.Int("hot-keys", 16, "distinct hot specs")
+		coldKeys    = fs.Int("cold-keys", 256, "distinct cold specs")
+		seed        = fs.Int64("seed", 1, "loadtest RNG seed (key choice per request)")
+		out         = fs.String("out", "results/BENCH_service.json", "report path ('' = stdout only)")
+		workers     = fs.Int("workers", 0, "in-process daemon worker count (0 = GOMAXPROCS)")
+	)
+	fs.Parse(args)
+	if *concurrency < 1 || *n < 1 {
+		return errors.New("loadtest: -n and -concurrency must be positive")
+	}
+
+	base := *addr
+	if base == "" {
+		dir := *cacheDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "reprod-loadtest-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		s, err := service.New(service.Config{CacheDir: dir, Workers: *workers})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "reprod: in-process daemon on %s (cache %s)\n", base, dir)
+	}
+
+	// Key population: hot keys are revisited constantly (cache and
+	// coalescing territory), cold keys mostly execute. Every key is a
+	// distinct seed of one tiny app config, so each is one real
+	// simulation with a distinct canonical hash.
+	key := func(i int) service.RunRequest {
+		return service.RunRequest{
+			SpecJSON: service.SpecJSON{App: "radix", Procs: 4, Scale: 1.0 / 4096, Seed: int64(1 + i)},
+			Minimal:  true,
+		}
+	}
+	keyOf := func(rng *rand.Rand) service.RunRequest {
+		if rng.Float64() < *hotFrac {
+			return key(rng.Intn(*hotKeys))
+		}
+		return key(*hotKeys + rng.Intn(*coldKeys))
+	}
+
+	httpc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *concurrency}}
+	var (
+		next    atomic.Int64
+		ok      atomic.Int64
+		retries atomic.Int64
+		fails   atomic.Int64
+		mu      sync.Mutex
+		lats    []int64
+		firstE  error
+	)
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			c := &service.Client{BaseURL: base, ID: fmt.Sprintf("load-%d", w), HTTP: httpc}
+			for {
+				if next.Add(1) > int64(*n) {
+					return
+				}
+				req := keyOf(rng)
+				t0 := time.Now()
+				for {
+					_, err := c.Run(ctx, req)
+					if err == nil {
+						break
+					}
+					var re *service.RetryError
+					if errors.As(err, &re) {
+						retries.Add(1)
+						time.Sleep(re.After)
+						continue
+					}
+					fails.Add(1)
+					mu.Lock()
+					if firstE == nil {
+						firstE = err
+					}
+					mu.Unlock()
+					break
+				}
+				us := time.Since(t0).Microseconds()
+				ok.Add(1)
+				mu.Lock()
+				lats = append(lats, us)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstE != nil {
+		return fmt.Errorf("loadtest: %d request(s) failed, first: %v", fails.Load(), firstE)
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) int64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	var sum int64
+	for _, v := range lats {
+		sum += v
+	}
+	rep := report{
+		Schema:      1,
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		Requests:    *n,
+		Concurrency: *concurrency,
+		HotFrac:     *hotFrac,
+		HotKeys:     *hotKeys,
+		ColdKeys:    *coldKeys,
+		Seed:        *seed,
+		WallMs:      float64(wall.Nanoseconds()) / 1e6,
+		ReqPerSec:   float64(ok.Load()) / wall.Seconds(),
+		OK:          ok.Load(),
+		Retries429:  retries.Load(),
+	}
+	if len(lats) > 0 {
+		rep.LatencyUs = latencyReport{
+			MeanUs: sum / int64(len(lats)),
+			P50Us:  pct(0.50),
+			P90Us:  pct(0.90),
+			P99Us:  pct(0.99),
+			MaxUs:  lats[len(lats)-1],
+		}
+	}
+	stc := &service.Client{BaseURL: base, HTTP: httpc}
+	if st, err := stc.Stats(ctx); err == nil {
+		rep.HitRate = st.HitRate
+		rep.DiskHits = st.Cache.DiskHits
+		rep.Computed = st.Cache.Computed
+		rep.Coalesced = st.Cache.Coalesced
+		rep.Rejected = st.Cache.Rejected
+		rep.MaxDepth = st.Sched.MaxDepth
+		rep.Workers = st.Sched.Workers
+	}
+
+	fmt.Printf("loadtest: %d requests, %d concurrent: %.0f req/s, hit rate %.1f%%, p50 %dµs p99 %dµs, %d retries\n",
+		rep.Requests, rep.Concurrency, rep.ReqPerSec, 100*rep.HitRate,
+		rep.LatencyUs.P50Us, rep.LatencyUs.P99Us, rep.Retries429)
+	if *out == "" {
+		return nil
+	}
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadtest: report written to %s\n", *out)
+	return nil
+}

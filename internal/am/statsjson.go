@@ -1,0 +1,115 @@
+package am
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// JSON round-tripping for the run characterization, so a completed
+// apps.Result can live in the service's persistent content-addressed
+// result cache and come back able to render every table it feeds
+// (Figure 4's balance matrix, Table 4's summary, ext-burst's interval
+// histograms, the fault counters). Only post-run state round-trips: the
+// transient in-run bookkeeping (lastSend) is reset on decode, so a
+// decoded Stats is a read-only characterization, not a live counter set.
+
+// histJSON is Histogram's wire form. Buckets trails no zeros so small
+// histograms stay small on disk.
+type histJSON struct {
+	Buckets []int64  `json:"buckets,omitempty"`
+	Count   int64    `json:"count"`
+	Sum     sim.Time `json:"sum"`
+	Max     sim.Time `json:"max"`
+}
+
+// MarshalJSON encodes the histogram's full state.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	last := -1
+	for i, c := range h.buckets {
+		if c != 0 {
+			last = i
+		}
+	}
+	var buckets []int64
+	if last >= 0 {
+		buckets = h.buckets[:last+1]
+	}
+	return json.Marshal(histJSON{Buckets: buckets, Count: h.count, Sum: h.sum, Max: h.max})
+}
+
+// UnmarshalJSON restores a histogram encoded by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var w histJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if len(w.Buckets) > len(h.buckets) {
+		return fmt.Errorf("am: histogram has %d buckets, max %d", len(w.Buckets), len(h.buckets))
+	}
+	*h = Histogram{count: w.Count, sum: w.Sum, max: w.Max}
+	copy(h.buckets[:], w.Buckets)
+	return nil
+}
+
+// statsJSON is Stats's wire form: the exported characterization plus
+// the processor count (unexported in Stats, but load-bearing for the
+// per-processor averages).
+type statsJSON struct {
+	P             int         `json:"p"`
+	Matrix        [][]int64   `json:"matrix,omitempty"`
+	SentPerProc   []int64     `json:"sent_per_proc,omitempty"`
+	BulkPerProc   []int64     `json:"bulk_per_proc,omitempty"`
+	BulkBytesPer  []int64     `json:"bulk_bytes_per,omitempty"`
+	ReadPerProc   []int64     `json:"read_per_proc,omitempty"`
+	Barriers      int64       `json:"barriers"`
+	SendIntervals []Histogram `json:"send_intervals,omitempty"`
+	Retransmits   int64       `json:"retransmits"`
+	WireDrops     int64       `json:"wire_drops"`
+	WireDups      int64       `json:"wire_dups"`
+	DupsDiscarded int64       `json:"dups_discarded"`
+}
+
+// MarshalJSON encodes the full post-run characterization.
+func (s *Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(statsJSON{
+		P:             s.p,
+		Matrix:        s.Matrix,
+		SentPerProc:   s.SentPerProc,
+		BulkPerProc:   s.BulkPerProc,
+		BulkBytesPer:  s.BulkBytesPer,
+		ReadPerProc:   s.ReadPerProc,
+		Barriers:      s.Barriers,
+		SendIntervals: s.SendIntervals,
+		Retransmits:   s.Retransmits,
+		WireDrops:     s.WireDrops,
+		WireDups:      s.WireDups,
+		DupsDiscarded: s.DupsDiscarded,
+	})
+}
+
+// UnmarshalJSON restores a Stats encoded by MarshalJSON. The decoded
+// value is read-only: the in-run interval bookkeeping does not
+// round-trip, so feeding it more sends would mis-histogram them.
+func (s *Stats) UnmarshalJSON(b []byte) error {
+	var w statsJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*s = Stats{
+		p:             w.P,
+		Matrix:        w.Matrix,
+		SentPerProc:   w.SentPerProc,
+		BulkPerProc:   w.BulkPerProc,
+		BulkBytesPer:  w.BulkBytesPer,
+		ReadPerProc:   w.ReadPerProc,
+		Barriers:      w.Barriers,
+		SendIntervals: w.SendIntervals,
+		Retransmits:   w.Retransmits,
+		WireDrops:     w.WireDrops,
+		WireDups:      w.WireDups,
+		DupsDiscarded: w.DupsDiscarded,
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package am
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestStatsJSONRoundTrip pins the persistent-cache contract: every
+// render-visible field of a post-run Stats — including the processor
+// count behind the per-proc averages and the burstiness histograms —
+// survives a JSON round trip exactly.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	s := newStats(4)
+	s.countSendAt(0, 1, ClassRead, false, 8, 100)
+	s.countSendAt(0, 2, ClassWrite, false, 8, 200)
+	s.countSendAt(1, 3, ClassWrite, true, 4096, 5000)
+	s.countSendAt(0, 1, ClassRead, false, 8, 90000)
+	s.CountBarrier()
+	s.CountBarrier()
+	s.Retransmits, s.WireDrops, s.WireDups, s.DupsDiscarded = 3, 2, 1, 1
+
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Stats
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.P() != s.P() {
+		t.Fatalf("P: got %d want %d", got.P(), s.P())
+	}
+	if !reflect.DeepEqual(got.Matrix, s.Matrix) {
+		t.Fatalf("Matrix: got %v want %v", got.Matrix, s.Matrix)
+	}
+	if !reflect.DeepEqual(got.SentPerProc, s.SentPerProc) ||
+		!reflect.DeepEqual(got.BulkPerProc, s.BulkPerProc) ||
+		!reflect.DeepEqual(got.BulkBytesPer, s.BulkBytesPer) ||
+		!reflect.DeepEqual(got.ReadPerProc, s.ReadPerProc) {
+		t.Fatalf("per-proc counters did not round-trip")
+	}
+	if got.Barriers != 2 || got.Retransmits != 3 || got.WireDrops != 2 || got.WireDups != 1 || got.DupsDiscarded != 1 {
+		t.Fatalf("scalar counters did not round-trip: %+v", got)
+	}
+	// Derived render inputs agree exactly.
+	if got.AvgPerProc() != s.AvgPerProc() || got.PercentBulk() != s.PercentBulk() || got.PercentReads() != s.PercentReads() {
+		t.Fatalf("derived metrics differ after round trip")
+	}
+	if got.Summarize(100000) != s.Summarize(100000) {
+		t.Fatalf("Summarize differs after round trip")
+	}
+	// Histograms: the burstiness instrumentation behind ext-burst.
+	for i := range s.SendIntervals {
+		a, b := &s.SendIntervals[i], &got.SendIntervals[i]
+		if a.Count() != b.Count() || a.Mean() != b.Mean() || a.Max() != b.Max() {
+			t.Fatalf("proc %d histogram summary differs", i)
+		}
+		for _, th := range []sim.Time{2, 1024, 1 << 20} {
+			if a.FractionBelow(th) != b.FractionBelow(th) {
+				t.Fatalf("proc %d FractionBelow(%d) differs", i, th)
+			}
+		}
+	}
+	// Encoding is deterministic: re-marshal of the decoded value is
+	// byte-identical (content-addressing depends on it).
+	b2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("re-encoded bytes differ:\n%s\n%s", b, b2)
+	}
+}
+
+// TestHistogramJSONTrailingZeros pins the compact bucket encoding.
+func TestHistogramJSONTrailingZeros(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(3)
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Count() != 2 || got.Max() != 3 || got.Mean() != h.Mean() {
+		t.Fatalf("histogram did not round-trip: %s vs %s", got.String(), h.String())
+	}
+	var empty Histogram
+	b, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatalf("marshal empty: %v", err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal empty: %v", err)
+	}
+	if back != empty {
+		t.Fatalf("empty histogram did not round-trip: %q", b)
+	}
+}

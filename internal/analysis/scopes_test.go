@@ -1,0 +1,32 @@
+package analysis
+
+import "testing"
+
+// TestServiceScopeDecision pins the determinism boundary for the
+// daemon layer (DESIGN.md §7, §13): internal/service and cmd/reprod sit
+// outside the simulation, so the sim-only analyzers (simwallclock,
+// goroutinefree) and the no-global-state analyzers must not claim them —
+// the daemon legitimately uses wall-clock time, goroutines, and mutable
+// server state. The module-wide analyzers (seededrand, maporder) still
+// cover them: the loadtest's key choice must be seeded and every
+// JSON/stats surface must iterate maps in sorted order.
+func TestServiceScopeDecision(t *testing.T) {
+	outside := []string{"repro/internal/service", "repro/cmd/reprod"}
+	for _, pkg := range outside {
+		if inScope(pkg, simScopes()) {
+			t.Errorf("%s is in simScopes; the daemon is outside the simulation boundary", pkg)
+		}
+		if inScope(pkg, noGlobalScopes()) {
+			t.Errorf("%s is in noGlobalScopes; the daemon holds server state by design", pkg)
+		}
+	}
+	// The engine packages the daemon builds on stay inside the boundary.
+	for _, pkg := range []string{"repro/internal/am", "repro/internal/sim"} {
+		if !inScope(pkg, simScopes()) {
+			t.Errorf("%s missing from simScopes", pkg)
+		}
+	}
+	if !inScope("repro/internal/run", noGlobalScopes()) {
+		t.Error("repro/internal/run missing from noGlobalScopes")
+	}
+}

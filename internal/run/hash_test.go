@@ -1,0 +1,109 @@
+package run
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/splitc"
+)
+
+// goldenHashes pins the canonical Spec hash across releases: the hashes
+// key the persistent on-disk result cache, so a change here is a cache
+// invalidation and must come with a hashVersion bump (never a silent
+// re-keying). If this test fails after you changed Spec or its
+// encoding, bump hashVersion in hash.go and re-pin.
+var goldenHashes = []struct {
+	spec Spec
+	want string
+}{
+	{
+		Baseline("radix", 32, 1.0/256, 1, false),
+		"6d7a266fac1e78fb942db7e92db8543b00497bedc8a22fa6104870605829240f",
+	},
+	{
+		Spec{App: "radix", Procs: 32, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobO, Value: 25},
+		"4df2adf70c6107b8b330447edf3afd0673aad1fe59271b6b9b708c86ccdd1878",
+	},
+	{
+		Spec{App: "em3d-read", Procs: 8, Scale: 0.00048828125, Seed: 7, Knob: core.KnobG, Value: 24.2, Profile: true},
+		"0a429199bdc5d1a383d37c2e8e0db90c8a5d8f5a2bbfddacbe79d17bcc21eddf",
+	},
+	{
+		Spec{App: "nowsort", Procs: 16, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobNone,
+			Fault: FaultSpec{DelayProc: 3, DelayAtFrac: 0.5, DelayUs: 1000}},
+		"1d3414a1ddfb758790c3259f131a2c5d2cd3a4c569ad14768bd2b7fe08e79d58",
+	},
+	{
+		Spec{App: "sample", Procs: 64, Scale: 1.0 / 256, Seed: 2, Knob: core.KnobL, Value: 100,
+			Coll: splitc.Collectives{Barrier: "flat", Broadcast: "chain", AllReduce: "recdouble"}},
+		"cb4e67ab96557bb84af449698f4cf03408cc4bdd1df0a7e6fa2fed06d28564ab",
+	},
+}
+
+func TestSpecHashGoldenVectors(t *testing.T) {
+	for _, g := range goldenHashes {
+		if got := g.spec.Hash(); got != g.want {
+			t.Errorf("Hash(%v) = %s, want %s\ncanonical:\n%s", g.spec, got, g.want, g.spec.canonical())
+		}
+	}
+}
+
+// TestSpecHashNormalizes proves hashing and map-key equality agree: a
+// spec and its normalized form address the same cache entry.
+func TestSpecHashNormalizes(t *testing.T) {
+	raw := Spec{App: "radix", Procs: 32, Scale: 1.0 / 256, Seed: 1,
+		Knob: core.KnobO, Value: 25, Verify: true, CPUSpeedup: 1}
+	if raw.Hash() != raw.norm().Hash() {
+		t.Fatalf("hash of raw spec differs from its normalized form")
+	}
+	if raw.norm() == raw {
+		t.Fatalf("test spec should not already be normalized")
+	}
+}
+
+func TestSpecHashDistinguishesFields(t *testing.T) {
+	base := Spec{App: "radix", Procs: 32, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobO, Value: 25}
+	variants := []Spec{
+		{App: "sample", Procs: 32, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobO, Value: 25},
+		{App: "radix", Procs: 16, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobO, Value: 25},
+		{App: "radix", Procs: 32, Scale: 1.0 / 512, Seed: 1, Knob: core.KnobO, Value: 25},
+		{App: "radix", Procs: 32, Scale: 1.0 / 256, Seed: 2, Knob: core.KnobO, Value: 25},
+		{App: "radix", Procs: 32, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobG, Value: 25},
+		{App: "radix", Procs: 32, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobO, Value: 26},
+		{App: "radix", Procs: 32, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobO, Value: 25, Profile: true},
+		{App: "radix", Procs: 32, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobO, Value: 25, CPUSpeedup: 2},
+		{App: "radix", Procs: 32, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobO, Value: 25,
+			Fault: FaultSpec{DropProb: 0.001, Reliable: true}},
+		{App: "radix", Procs: 32, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobO, Value: 25,
+			Coll: splitc.Collectives{Barrier: "tree"}},
+	}
+	seen := map[string]Spec{base.Hash(): base}
+	for _, v := range variants {
+		h := v.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("hash collision between %v and %v", prev, v)
+		}
+		seen[h] = v
+	}
+}
+
+// TestSpecHashCoversEveryField fails when Spec (or an embedded struct)
+// gains a field the canonical encoding does not yet render — the guard
+// that keeps Hash() from silently aliasing new run dimensions. Update
+// canonical() AND bump hashVersion, then extend these counts.
+func TestSpecHashCoversEveryField(t *testing.T) {
+	for _, c := range []struct {
+		typ  reflect.Type
+		want int
+	}{
+		{reflect.TypeOf(Spec{}), 11},
+		{reflect.TypeOf(FaultSpec{}), 6},
+		{reflect.TypeOf(splitc.Collectives{}), 3},
+	} {
+		if got := c.typ.NumField(); got != c.want {
+			t.Errorf("%v has %d fields, canonical encoding renders %d: update Spec.canonical(), bump hashVersion, re-pin the golden vectors",
+				c.typ, got, c.want)
+		}
+	}
+}

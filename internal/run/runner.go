@@ -1,6 +1,7 @@
 package run
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -72,11 +73,29 @@ func (r *Runner) Run(p *Plan) (*Store, error) {
 	return st, err
 }
 
+// RunContext is Run with cancellation: see RunIntoContext.
+func (r *Runner) RunContext(ctx context.Context, p *Plan) (*Store, error) {
+	st := NewStore()
+	err := r.RunIntoContext(ctx, st, p)
+	return st, err
+}
+
 // RunInto executes a plan against an existing store, skipping (and
 // counting as cache hits) any runs the store already holds. Baselines
 // run first — they provide every swept run's slowdown denominator and
 // livelock bound — then all swept runs, each wave on the bounded pool.
 func (r *Runner) RunInto(st *Store, p *Plan) error {
+	return r.RunIntoContext(context.Background(), st, p)
+}
+
+// RunIntoContext is RunInto with cancellation. A simulation already
+// executing when ctx is canceled runs to completion (the simulator has
+// no preemption points — a run is one synchronous computation), but no
+// further run starts: every remaining claimed spec completes immediately
+// with ctx.Err() so concurrent waiters never hang, the worker pool
+// drains, and the call returns ctx.Err(). Specs the canceled plan never
+// claimed stay absent from the store and can be claimed by a later plan.
+func (r *Runner) RunIntoContext(ctx context.Context, st *Store, p *Plan) error {
 	var baselines, sweeps []Spec
 	for _, s := range p.Specs() {
 		if s.IsBaseline() {
@@ -86,8 +105,11 @@ func (r *Runner) RunInto(st *Store, p *Plan) error {
 		}
 	}
 	prog := &progress{total: p.Size(), fn: r.OnProgress}
-	r.wave(st, baselines, prog, func(s Spec) Outcome { return r.runBaseline(s) })
-	r.wave(st, sweeps, prog, func(s Spec) Outcome { return r.runSweep(st, p, s) })
+	r.wave(ctx, st, baselines, prog, func(s Spec) Outcome { return r.runBaseline(s) })
+	r.wave(ctx, st, sweeps, prog, func(s Spec) Outcome { return r.runSweep(st, p, s) })
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, s := range p.Specs() {
 		if out, ok := st.Get(s); ok && out.Err != nil {
 			return fmt.Errorf("run: %v: %w", s, out.Err)
@@ -113,8 +135,10 @@ func (pr *progress) report(s Spec, cached bool, wall time.Duration, err error) {
 	}
 }
 
-// wave runs one batch of specs on the worker pool.
-func (r *Runner) wave(st *Store, specs []Spec, prog *progress, exec func(Spec) Outcome) {
+// wave runs one batch of specs on the worker pool. After ctx is
+// canceled, remaining specs are still claimed but complete immediately
+// with ctx.Err() instead of executing, so every store waiter unblocks.
+func (r *Runner) wave(ctx context.Context, st *Store, specs []Spec, prog *progress, exec func(Spec) Outcome) {
 	if len(specs) == 0 {
 		return
 	}
@@ -133,6 +157,12 @@ func (r *Runner) wave(st *Store, specs []Spec, prog *progress, exec func(Spec) O
 				if !owned {
 					out := st.wait(e)
 					prog.report(s, true, 0, out.Err)
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					out := Outcome{Spec: s, Err: err}
+					st.complete(e, out)
+					prog.report(s, false, 0, err)
 					continue
 				}
 				start := time.Now()
@@ -169,19 +199,33 @@ func (r *Runner) runBaseline(s Spec) Outcome {
 
 // runSweep executes one design point against its completed baseline.
 func (r *Runner) runSweep(st *Store, p *Plan, s Spec) Outcome {
-	out := Outcome{Spec: s}
 	base, ok := p.BaselineOf(s)
 	if !ok {
-		out.Err = fmt.Errorf("run: %v has no declared baseline (use Plan.AddSweep)", s)
-		return out
+		return Outcome{Spec: s, Err: fmt.Errorf("run: %v has no declared baseline (use Plan.AddSweep)", s)}
 	}
 	baseOut, ok := st.Get(base)
 	if !ok {
-		out.Err = fmt.Errorf("run: baseline %v missing from store", base)
-		return out
+		return Outcome{Spec: s, Err: fmt.Errorf("run: baseline %v missing from store", base)}
 	}
-	if baseOut.Err != nil {
-		out.Err = fmt.Errorf("baseline %v: %w", base, baseOut.Err)
+	return r.ExecSweep(s, baseOut)
+}
+
+// ExecBaseline synchronously executes one unmodified-machine run on the
+// calling goroutine — the single-spec executor seam for schedulers that
+// own their own worker pool (the service daemon). The runner's Jobs
+// field is not consulted.
+func (r *Runner) ExecBaseline(s Spec) Outcome {
+	return r.runBaseline(s.norm())
+}
+
+// ExecSweep synchronously executes one design point against its
+// already-executed baseline outcome (normally ExecBaseline's result for
+// s.BaselineSpec). Like ExecBaseline it is the pool-free executor seam.
+func (r *Runner) ExecSweep(s Spec, base Outcome) Outcome {
+	s = s.norm()
+	out := Outcome{Spec: s}
+	if base.Err != nil {
+		out.Err = fmt.Errorf("baseline %v: %w", base.Spec, base.Err)
 		return out
 	}
 	a, err := r.resolve(s.App)
@@ -189,8 +233,8 @@ func (r *Runner) runSweep(st *Store, p *Plan, s Spec) Outcome {
 		out.Err = err
 		return out
 	}
-	cfg := s.Fault.Wire(s.Config(r.params()), baseOut.Res.Elapsed)
-	out.Point, out.Res, out.Err = core.Measure(a, cfg, s.Knob, s.Value, baseOut.Res.Elapsed)
+	cfg := s.Fault.Wire(s.Config(r.params()), base.Res.Elapsed)
+	out.Point, out.Res, out.Err = core.Measure(a, cfg, s.Knob, s.Value, base.Res.Elapsed)
 	return out
 }
 

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/run"
+)
+
+// diskVersion is the on-disk entry format version. Entries with a
+// different version are treated as misses (recompute and overwrite),
+// never misread.
+const diskVersion = 1
+
+// DiskStore is the persistent content-addressed result cache: one JSON
+// file per executed run, addressed by the run's canonical Spec hash and
+// sharded by the hash's first byte (objects/ab/abcdef….json).
+//
+// Durability discipline:
+//
+//   - writes are atomic: the entry is written to a temp file in the
+//     destination directory, fsynced, then renamed into place, so a
+//     crash mid-write leaves either the old entry or none — never a
+//     torn one (concurrent writers of the same hash write identical
+//     content, so last-rename-wins is harmless);
+//   - reads are verified: the payload checksum must match, the stored
+//     spec must re-hash to the entry's address, and the address must
+//     match the filename; any mismatch (truncation, bit rot, a hand-
+//     edited file) surfaces as ErrCorrupt and the caller recomputes;
+//   - entries are loaded lazily — the store never scans the directory.
+type DiskStore struct {
+	root string
+}
+
+// ErrCorrupt marks an unreadable, truncated, or tampered cache entry.
+// Callers treat it as a miss (and typically overwrite the entry with a
+// freshly computed result).
+var ErrCorrupt = errors.New("service: corrupt cache entry")
+
+// NewDiskStore opens (creating if needed) a store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("service: cache directory required")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("service: create cache dir: %w", err)
+	}
+	return &DiskStore{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (d *DiskStore) Root() string { return d.root }
+
+// entryPath is the object file for a hash.
+func (d *DiskStore) entryPath(hash string) string {
+	return filepath.Join(d.root, "objects", hash[:2], hash+".json")
+}
+
+// diskEntry is the on-disk envelope. Payload is kept raw so the
+// checksum covers the exact stored bytes.
+type diskEntry struct {
+	Version int             `json:"version"`
+	Hash    string          `json:"hash"`
+	Sum     string          `json:"sum"` // sha256 hex of Payload
+	Payload json.RawMessage `json:"payload"`
+}
+
+// payloadJSON is the cached outcome: the self-describing spec plus the
+// full result. Failed runs are never persisted, so there is no error
+// field — a cached entry is always a completed, successful run.
+type payloadJSON struct {
+	Spec   SpecJSON    `json:"spec"`
+	Point  core.Point  `json:"point"`
+	Result apps.Result `json:"result"`
+}
+
+// Load fetches the outcome for a spec. found reports whether an entry
+// existed at all; a found entry that fails verification returns
+// ErrCorrupt (wrapped with detail) and should be recomputed.
+func (d *DiskStore) Load(s run.Spec) (out run.Outcome, found bool, err error) {
+	hash := s.Hash()
+	raw, rerr := os.ReadFile(d.entryPath(hash))
+	if rerr != nil {
+		if errors.Is(rerr, fs.ErrNotExist) {
+			return run.Outcome{}, false, nil
+		}
+		return run.Outcome{}, true, fmt.Errorf("%w: %v", ErrCorrupt, rerr)
+	}
+	var e diskEntry
+	if jerr := json.Unmarshal(raw, &e); jerr != nil {
+		return run.Outcome{}, true, fmt.Errorf("%w: %s: %v", ErrCorrupt, hash, jerr)
+	}
+	if e.Version != diskVersion {
+		return run.Outcome{}, true, fmt.Errorf("%w: %s: version %d, want %d", ErrCorrupt, hash, e.Version, diskVersion)
+	}
+	if e.Hash != hash {
+		return run.Outcome{}, true, fmt.Errorf("%w: entry %s claims hash %s", ErrCorrupt, hash, e.Hash)
+	}
+	sum := sha256.Sum256(e.Payload)
+	if hex.EncodeToString(sum[:]) != e.Sum {
+		return run.Outcome{}, true, fmt.Errorf("%w: %s: payload checksum mismatch", ErrCorrupt, hash)
+	}
+	var p payloadJSON
+	if jerr := json.Unmarshal(e.Payload, &p); jerr != nil {
+		return run.Outcome{}, true, fmt.Errorf("%w: %s: payload: %v", ErrCorrupt, hash, jerr)
+	}
+	spec, serr := p.Spec.Spec()
+	if serr != nil {
+		return run.Outcome{}, true, fmt.Errorf("%w: %s: stored spec: %v", ErrCorrupt, hash, serr)
+	}
+	if spec.Hash() != hash {
+		return run.Outcome{}, true, fmt.Errorf("%w: %s: stored spec re-hashes to %s", ErrCorrupt, hash, spec.Hash())
+	}
+	return run.Outcome{Spec: spec, Res: p.Result, Point: p.Point}, true, nil
+}
+
+// Store persists a completed outcome atomically. Outcomes carrying an
+// error are refused: failures are conditions of the moment (a bad app
+// name, a canceled context), not content.
+func (d *DiskStore) Store(out run.Outcome) error {
+	if out.Err != nil {
+		return fmt.Errorf("service: refusing to cache failed run %v: %v", out.Spec, out.Err)
+	}
+	hash := out.Spec.Hash()
+	payload, err := json.Marshal(payloadJSON{
+		Spec:   SpecToJSON(out.Spec),
+		Point:  out.Point,
+		Result: out.Res,
+	})
+	if err != nil {
+		return fmt.Errorf("service: encode %v: %w", out.Spec, err)
+	}
+	sum := sha256.Sum256(payload)
+	raw, err := json.Marshal(diskEntry{
+		Version: diskVersion,
+		Hash:    hash,
+		Sum:     hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("service: encode entry %v: %w", out.Spec, err)
+	}
+	dst := d.entryPath(hash)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("service: cache shard: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "tmp-*")
+	if err != nil {
+		return fmt.Errorf("service: cache temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: cache sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("service: cache close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return fmt.Errorf("service: cache rename: %w", err)
+	}
+	return nil
+}

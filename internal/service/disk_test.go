@@ -1,0 +1,250 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/logp"
+	"repro/internal/run"
+)
+
+// testOutcome executes one real (tiny) baseline run to exercise the
+// store with a fully populated result: Stats, histograms, summary.
+func testOutcome(t *testing.T) run.Outcome {
+	t.Helper()
+	r := &run.Runner{Params: logp.NOW(), Resolve: exp.ResolveApp}
+	out := r.ExecBaseline(run.Baseline("radix", 4, 1.0/4096, 1, true))
+	if out.Err != nil {
+		t.Fatalf("baseline run failed: %v", out.Err)
+	}
+	return out
+}
+
+// outcomeBytes is the canonical comparison form of an outcome.
+func outcomeBytes(t *testing.T, out run.Outcome) []byte {
+	t.Helper()
+	raw, err := json.Marshal(payloadJSON{Spec: SpecToJSON(out.Spec), Point: out.Point, Result: out.Res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := testOutcome(t)
+
+	if _, found, err := d.Load(out.Spec); found || err != nil {
+		t.Fatalf("Load before Store: found=%v err=%v, want miss", found, err)
+	}
+	if err := d.Store(out); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := d.Load(out.Spec)
+	if !found || err != nil {
+		t.Fatalf("Load after Store: found=%v err=%v", found, err)
+	}
+	want, have := outcomeBytes(t, out), outcomeBytes(t, got)
+	if string(want) != string(have) {
+		t.Errorf("round trip not byte-identical:\nstored %s\nloaded %s", want, have)
+	}
+	// Storing again (idempotent overwrite) must keep the entry readable.
+	if err := d.Store(out); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := d.Load(out.Spec); !found || err != nil {
+		t.Fatalf("Load after re-Store: found=%v err=%v", found, err)
+	}
+}
+
+func TestDiskStoreRefusesFailedRun(t *testing.T) {
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run.Outcome{Spec: run.Baseline("radix", 4, 1.0/4096, 1, false), Err: errors.New("boom")}
+	if err := d.Store(out); err == nil {
+		t.Fatal("Store accepted a failed run")
+	}
+}
+
+// TestDiskStoreCorruption covers every verification layer: truncation,
+// bit flips in the payload, a wrong stored hash, and a version bump all
+// surface as ErrCorrupt (found, recompute), never as a wrong answer.
+func TestDiskStoreCorruption(t *testing.T) {
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := testOutcome(t)
+	if err := d.Store(out); err != nil {
+		t.Fatal(err)
+	}
+	path := d.entryPath(out.Spec.Hash())
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(path, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	corrupt := func(name string, mutate func() []byte) {
+		t.Run(name, func(t *testing.T) {
+			defer restore()
+			if err := os.WriteFile(path, mutate(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, found, err := d.Load(out.Spec)
+			if !found {
+				t.Fatal("corrupt entry reported as a clean miss")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+
+	corrupt("truncated", func() []byte { return pristine[:len(pristine)/2] })
+	corrupt("not-json", func() []byte { return []byte("not json at all") })
+	corrupt("bit-flip", func() []byte {
+		b := append([]byte(nil), pristine...)
+		// Flip a byte inside the payload checksum's coverage: find the
+		// payload object and damage a digit in it.
+		var e diskEntry
+		if err := json.Unmarshal(pristine, &e); err != nil {
+			t.Fatal(err)
+		}
+		idx := len(b) - len(e.Payload)/2
+		if b[idx] == 'x' {
+			b[idx] = 'y'
+		} else {
+			b[idx] = 'x'
+		}
+		return b
+	})
+	corrupt("version-bump", func() []byte {
+		var e diskEntry
+		if err := json.Unmarshal(pristine, &e); err != nil {
+			t.Fatal(err)
+		}
+		e.Version = diskVersion + 1
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	})
+	corrupt("wrong-address", func() []byte {
+		var e diskEntry
+		if err := json.Unmarshal(pristine, &e); err != nil {
+			t.Fatal(err)
+		}
+		e.Hash = "0000" + e.Hash[4:]
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	})
+
+	// After every corruption the pristine bytes must verify again.
+	restore()
+	if _, found, err := d.Load(out.Spec); !found || err != nil {
+		t.Fatalf("pristine reload: found=%v err=%v", found, err)
+	}
+}
+
+// TestDiskStoreCrashArtifacts simulates a writer that died mid-write:
+// leftover temp files must never be served, and the final rename is the
+// only visibility point.
+func TestDiskStoreCrashArtifacts(t *testing.T) {
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := testOutcome(t)
+	hash := out.Spec.Hash()
+	shard := filepath.Dir(d.entryPath(hash))
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A torn temp file from a crashed writer sits in the shard.
+	if err := os.WriteFile(filepath.Join(shard, "tmp-dead"), []byte(`{"version":1,"half`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := d.Load(out.Spec); found || err != nil {
+		t.Fatalf("Load with only a torn temp present: found=%v err=%v, want miss", found, err)
+	}
+	if err := d.Store(out); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := d.Load(out.Spec); !found || err != nil {
+		t.Fatalf("Load after Store: found=%v err=%v", found, err)
+	}
+}
+
+// TestDiskStoreConcurrent hammers one entry with concurrent writers and
+// readers (run under -race in CI). Readers must only ever see a clean
+// miss or a fully verified entry.
+func TestDiskStoreConcurrent(t *testing.T) {
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := testOutcome(t)
+	want := string(outcomeBytes(t, out))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				if err := d.Store(out); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				got, found, err := d.Load(out.Spec)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !found {
+					continue
+				}
+				raw, merr := json.Marshal(payloadJSON{Spec: SpecToJSON(got.Spec), Point: got.Point, Result: got.Res})
+				if merr != nil {
+					errs <- merr
+					return
+				}
+				if string(raw) != want {
+					errs <- errors.New("reader observed a non-identical entry")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

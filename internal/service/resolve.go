@@ -1,0 +1,264 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/run"
+)
+
+// flight is one in-flight resolution of a spec hash. Every concurrent
+// request for the same hash waits on the same flight — the
+// cross-request twin of run.Store's singleflight.
+type flight struct {
+	done chan struct{} // closed when out/src are valid
+	out  run.Outcome
+	src  string
+}
+
+// resolve produces the outcome for one spec: from the persistent store,
+// by coalescing onto an identical in-flight run, or by executing on the
+// shared pool under the client's fair-share queue. base carries the
+// already-resolved baseline outcome for sweep specs (nil for
+// baselines).
+//
+// The returned error is transport-level (queue full, context canceled);
+// run-level failures travel inside the outcome's Err. On cancellation
+// the underlying run keeps going for any other waiters and still warms
+// the cache — cancellation abandons the wait, not the work.
+func (s *Server) resolve(ctx context.Context, client string, spec run.Spec, base *run.Outcome) (run.Outcome, string, error) {
+	hash := spec.Hash()
+
+	s.mu.Lock()
+	if f, ok := s.inflight[hash]; ok {
+		s.mu.Unlock()
+		return s.await(ctx, f, true)
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[hash] = f
+	s.mu.Unlock()
+
+	// Persistent store probe (lazily, outside the lock).
+	out, found, err := s.disk.Load(spec)
+	if err == nil && found {
+		s.finish(hash, f, out, SourceDisk)
+		return s.await(ctx, f, false)
+	}
+	if err != nil {
+		// A found-but-corrupt entry: recompute and overwrite.
+		s.mu.Lock()
+		s.counts.corrupt++
+		s.mu.Unlock()
+	}
+
+	submitErr := s.sched.Submit(client, func() {
+		var out run.Outcome
+		if spec.IsBaseline() {
+			out = s.runner.ExecBaseline(spec)
+		} else if base == nil {
+			out = run.Outcome{Spec: spec, Err: fmt.Errorf("service: sweep %v resolved without a baseline", spec)}
+		} else {
+			out = s.runner.ExecSweep(spec, *base)
+		}
+		if out.Err == nil {
+			if werr := s.disk.Store(out); werr != nil {
+				s.mu.Lock()
+				s.counts.writeErrors++
+				s.mu.Unlock()
+			}
+		}
+		s.finish(hash, f, out, SourceComputed)
+	})
+	if submitErr != nil {
+		// Backpressure: fail this flight fast so every waiter sees the
+		// rejection too (they would hit the same full queue).
+		s.finish(hash, f, run.Outcome{Spec: spec, Err: submitErr}, SourceComputed)
+		return run.Outcome{}, "", submitErr
+	}
+	return s.await(ctx, f, false)
+}
+
+// finish publishes a flight's outcome and retires it from the in-flight
+// table, updating the aggregate counters.
+func (s *Server) finish(hash string, f *flight, out run.Outcome, src string) {
+	f.out = out
+	f.src = src
+	s.mu.Lock()
+	delete(s.inflight, hash)
+	if out.Err == nil {
+		switch src {
+		case SourceDisk:
+			s.counts.diskHits++
+		case SourceComputed:
+			s.counts.computed++
+		}
+	} else if !errors.Is(out.Err, ErrQueueFull) {
+		s.counts.runErrors++
+	} else {
+		s.counts.rejected++
+	}
+	s.mu.Unlock()
+	close(f.done)
+}
+
+// await blocks on a flight until it completes or the context dies.
+func (s *Server) await(ctx context.Context, f *flight, coalesced bool) (run.Outcome, string, error) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return run.Outcome{}, "", ctx.Err()
+	}
+	src := f.src
+	if coalesced {
+		s.mu.Lock()
+		s.counts.coalesced++
+		s.mu.Unlock()
+		src = SourceCoalesced
+	}
+	if f.out.Err != nil && errors.Is(f.out.Err, ErrQueueFull) {
+		return run.Outcome{}, "", f.out.Err
+	}
+	return f.out, src, nil
+}
+
+// planResult is everything executePlan learned about a plan.
+type planResult struct {
+	store   *run.Store
+	sources map[string]string // spec hash → resolution source
+	counts  CacheCounts
+	// firstRunErr is the first run-level failure in plan order (the
+	// plan still resolves fully, matching Runner semantics).
+	firstRunErr error
+}
+
+// executePlan resolves every run of a plan through the cache and the
+// shared pool: baselines first (they are every sweep's denominator),
+// then sweeps, each phase fanned out concurrently. onEvent, when
+// non-nil, observes every resolution, one call at a time.
+//
+// The returned error is transport-level (backpressure or cancellation)
+// and aborts the remaining phases; run-level failures land in
+// planResult.firstRunErr.
+func (s *Server) executePlan(ctx context.Context, client string, p *run.Plan, onEvent func(PlanEvent)) (*planResult, error) {
+	specs := p.Specs()
+	pr := &planResult{
+		store:   run.NewStore(),
+		sources: make(map[string]string, len(specs)),
+	}
+	pr.counts.Total = len(specs)
+	var baselines, sweeps []run.Spec
+	for _, sp := range specs {
+		if sp.IsBaseline() {
+			baselines = append(baselines, sp)
+		} else {
+			sweeps = append(sweeps, sp)
+		}
+	}
+	prog := &planProgress{total: len(specs), fn: onEvent}
+	if err := s.resolveWave(ctx, client, p, pr, baselines, prog); err != nil {
+		return pr, err
+	}
+	if err := s.resolveWave(ctx, client, p, pr, sweeps, prog); err != nil {
+		return pr, err
+	}
+	// Surface run-level failures in plan order, like Runner.RunInto.
+	for _, sp := range specs {
+		if out, ok := pr.store.Get(sp); ok && out.Err != nil {
+			pr.firstRunErr = fmt.Errorf("%v: %w", sp, out.Err)
+			break
+		}
+	}
+	return pr, nil
+}
+
+// planProgress serializes PlanEvent callbacks and the done counter.
+type planProgress struct {
+	mu    sync.Mutex
+	done  int
+	total int
+	fn    func(PlanEvent)
+}
+
+func (pp *planProgress) report(spec run.Spec, hash, src string, wall time.Duration, err error) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	pp.done++
+	if pp.fn == nil {
+		return
+	}
+	ev := PlanEvent{
+		Done: pp.done, Total: pp.total,
+		Spec: spec.String(), Hash: hash, Source: src,
+		WallUs: wall.Microseconds(),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	pp.fn(ev)
+}
+
+// resolveWave fans one phase's specs out concurrently, collecting
+// outcomes into the plan result. It returns the first transport-level
+// error; run-level errors stay in the outcomes.
+func (s *Server) resolveWave(ctx context.Context, client string, p *run.Plan, pr *planResult, specs []run.Spec, prog *planProgress) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, sp := range specs {
+		wg.Add(1)
+		go func(sp run.Spec) {
+			defer wg.Done()
+			var base *run.Outcome
+			if !sp.IsBaseline() {
+				b, ok := p.BaselineOf(sp)
+				if !ok {
+					out := run.Outcome{Spec: sp, Err: fmt.Errorf("run: %v has no declared baseline", sp)}
+					pr.store.Put(out)
+					prog.report(sp, sp.Hash(), SourceComputed, 0, out.Err)
+					return
+				}
+				if bout, ok := pr.store.Get(b); ok {
+					base = &bout
+				} else {
+					out := run.Outcome{Spec: sp, Err: fmt.Errorf("run: baseline %v missing from store", b)}
+					pr.store.Put(out)
+					prog.report(sp, sp.Hash(), SourceComputed, 0, out.Err)
+					return
+				}
+			}
+			start := time.Now()
+			out, src, err := s.resolve(ctx, client, sp, base)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			pr.store.Put(out)
+			mu.Lock()
+			pr.sources[sp.Hash()] = src
+			switch src {
+			case SourceDisk:
+				pr.counts.DiskHits++
+			case SourceComputed:
+				pr.counts.Computed++
+			case SourceCoalesced:
+				pr.counts.Coalesced++
+			}
+			mu.Unlock()
+			prog.report(sp, sp.Hash(), src, time.Since(start), out.Err)
+		}(sp)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is the admission-control signal: the shared queue is at
+// capacity and the caller should back off and retry (HTTP maps it to
+// 429 + Retry-After).
+var ErrQueueFull = errors.New("service: run queue full")
+
+// Scheduler is the daemon's one shared bounded worker pool. Jobs are
+// queued per client and dispatched round-robin across clients, so a
+// client that floods the queue delays its own later runs, not other
+// clients' next run: with K active clients each observes at worst a
+// 1/K share of the pool regardless of queue composition. Admission is
+// bounded: beyond maxQueue queued (not yet executing) jobs, Submit
+// fails fast with ErrQueueFull.
+type Scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string][]func()
+	ring   []string // clients with pending work, in round-robin order
+	next   int      // ring cursor: index of the next client to serve
+	queued int
+	closed bool
+	wg     sync.WaitGroup
+
+	workers  int
+	maxQueue int
+
+	// counters (guarded by mu)
+	submitted int64
+	ran       int64
+	rejected  int64
+	maxDepth  int
+}
+
+// NewScheduler starts a pool of `workers` goroutines with a shared
+// queue bound of maxQueue.
+func NewScheduler(workers, maxQueue int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if maxQueue < 1 {
+		maxQueue = 1
+	}
+	s := &Scheduler{
+		queues:   map[string][]func(){},
+		workers:  workers,
+		maxQueue: maxQueue,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues a job under a client identity. It returns
+// ErrQueueFull when the shared queue is at capacity and an error after
+// Close; the job runs exactly once otherwise.
+func (s *Scheduler) Submit(client string, fn func()) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("service: scheduler closed")
+	}
+	if s.queued >= s.maxQueue {
+		s.rejected++
+		return ErrQueueFull
+	}
+	q := s.queues[client]
+	if len(q) == 0 {
+		s.ring = append(s.ring, client)
+	}
+	s.queues[client] = append(q, fn)
+	s.queued++
+	s.submitted++
+	if s.queued > s.maxDepth {
+		s.maxDepth = s.queued
+	}
+	s.cond.Signal()
+	return nil
+}
+
+// worker executes jobs until the scheduler is closed and drained.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queued == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.queued == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		fn := s.popLocked()
+		s.ran++
+		s.mu.Unlock()
+		fn()
+	}
+}
+
+// popLocked takes the next job in round-robin order. Caller holds mu
+// and has checked queued > 0.
+func (s *Scheduler) popLocked() func() {
+	if s.next >= len(s.ring) {
+		s.next = 0
+	}
+	client := s.ring[s.next]
+	q := s.queues[client]
+	fn := q[0]
+	if len(q) == 1 {
+		// The client's queue drained: drop it from the ring. The cursor
+		// stays put — it now points at the next client (or wraps).
+		delete(s.queues, client)
+		s.ring = append(s.ring[:s.next], s.ring[s.next+1:]...)
+	} else {
+		s.queues[client] = q[1:]
+		s.next++
+	}
+	s.queued--
+	return fn
+}
+
+// Close refuses new submissions, lets the queue drain, and waits for
+// the workers to exit.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// SchedStats is the scheduler's /v1/stats snapshot.
+type SchedStats struct {
+	Workers   int   `json:"workers"`
+	Depth     int   `json:"depth"`
+	MaxDepth  int   `json:"max_depth"`
+	Clients   int   `json:"clients"`
+	Submitted int64 `json:"submitted"`
+	Ran       int64 `json:"ran"`
+	Rejected  int64 `json:"rejected"`
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SchedStats{
+		Workers:   s.workers,
+		Depth:     s.queued,
+		MaxDepth:  s.maxDepth,
+		Clients:   len(s.ring),
+		Submitted: s.submitted,
+		Ran:       s.ran,
+		Rejected:  s.rejected,
+	}
+}
+
+// RetryAfterSeconds is the backpressure hint attached to queue-full
+// rejections: a rough drain time for the current backlog, floored at
+// one second and capped so clients never stall for minutes on a hint.
+func (s *Scheduler) RetryAfterSeconds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sec := 1 + s.queued/(4*s.workers)
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}

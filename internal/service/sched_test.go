@@ -1,0 +1,114 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestSchedulerRunsEverything(t *testing.T) {
+	s := NewScheduler(4, 128)
+	var mu sync.Mutex
+	ran := 0
+	for i := 0; i < 100; i++ {
+		if err := s.Submit("c", func() { mu.Lock(); ran++; mu.Unlock() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	if ran != 100 {
+		t.Fatalf("ran = %d, want 100", ran)
+	}
+	st := s.Stats()
+	if st.Submitted != 100 || st.Ran != 100 || st.Depth != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSchedulerBackpressure fills the queue behind a blocked worker and
+// checks that exactly the overflow is rejected with ErrQueueFull.
+func TestSchedulerBackpressure(t *testing.T) {
+	s := NewScheduler(1, 2)
+	running := make(chan struct{})
+	release := make(chan struct{})
+	if err := s.Submit("a", func() { close(running); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-running // worker occupied; queue is empty again
+
+	if err := s.Submit("a", func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit("a", func() {}); err != nil {
+		t.Fatal(err)
+	}
+	// Queue is at capacity (2 queued, 1 executing).
+	if err := s.Submit("a", func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if sec := s.RetryAfterSeconds(); sec < 1 || sec > 30 {
+		t.Fatalf("RetryAfterSeconds = %d, want within [1, 30]", sec)
+	}
+	close(release)
+	s.Close()
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+}
+
+// TestSchedulerFairness queues a flood from one client and a trickle
+// from another behind a blocked single worker: round-robin must
+// interleave them, so the trickle finishes long before the flood.
+func TestSchedulerFairness(t *testing.T) {
+	s := NewScheduler(1, 128)
+	running := make(chan struct{})
+	release := make(chan struct{})
+	if err := s.Submit("gate", func() { close(running); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+
+	var mu sync.Mutex
+	var order []string
+	record := func(id string) func() {
+		return func() { mu.Lock(); order = append(order, id); mu.Unlock() }
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Submit("flood", record("flood")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Submit("trickle", record("trickle")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	s.Close()
+
+	if len(order) != 10 {
+		t.Fatalf("executed %d jobs, want 10", len(order))
+	}
+	// With strict round-robin both trickle jobs land within the first
+	// four slots (flood, trickle, flood, trickle, flood, flood, ...).
+	trickleDone := 0
+	for i, id := range order {
+		if id == "trickle" {
+			trickleDone++
+			if i >= 4 {
+				t.Fatalf("trickle job ran at position %d (order %v), want round-robin interleave", i, order)
+			}
+		}
+	}
+	if trickleDone != 2 {
+		t.Fatalf("trickle ran %d times, want 2", trickleDone)
+	}
+}
+
+func TestSchedulerSubmitAfterClose(t *testing.T) {
+	s := NewScheduler(1, 8)
+	s.Close()
+	if err := s.Submit("c", func() {}); err == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+}

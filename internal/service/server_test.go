@@ -1,0 +1,481 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/run"
+)
+
+// newTestServer boots a daemon on a fresh cache directory plus an
+// httptest frontend, and returns a typed client bound to it.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	if cfg.CacheDir == "" {
+		cfg.CacheDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, &Client{BaseURL: ts.URL, ID: "test", HTTP: ts.Client()}
+}
+
+func quickFig5bOptions() OptionsJSON {
+	return OptionsJSON{Procs: 8, Scale: 1.0 / 2048, Seed: 1, Quick: true, Apps: []string{"radix"}}
+}
+
+// TestServiceFig5bByteIdentity is the tentpole acceptance check: the
+// served fig5b table must match the offline render byte for byte, cold
+// (all computed) and warm (all from the persistent cache).
+func TestServiceFig5bByteIdentity(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 4})
+	ctx := context.Background()
+
+	offline, err := exp.Fig5b(exp.Options{Procs: 8, Scale: 1.0 / 2048, Seed: 1, Quick: true, Apps: []string{"radix"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := ExperimentRequest{ID: "fig5b", Options: quickFig5bOptions()}
+	cold, err := c.Experiment(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Text != offline.Text() {
+		t.Errorf("cold served table differs from offline render:\n--- offline\n%s--- served\n%s", offline.Text(), cold.Text)
+	}
+	if cold.Cache.Computed != cold.Cache.Total || cold.Cache.DiskHits != 0 {
+		t.Errorf("cold cache counts = %+v, want all computed", cold.Cache)
+	}
+	if cold.CSV != offline.CSV() {
+		t.Error("cold served CSV differs from offline render")
+	}
+
+	warm, err := c.Experiment(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.DiskHits != warm.Cache.Total || warm.Cache.Computed != 0 {
+		t.Errorf("warm cache counts = %+v, want 100%% disk hits", warm.Cache)
+	}
+	if warm.Text != cold.Text {
+		t.Errorf("warm reply not byte-identical to cold:\n--- cold\n%s--- warm\n%s", cold.Text, warm.Text)
+	}
+	if warm.CSV != cold.CSV {
+		t.Error("warm CSV not byte-identical to cold")
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HitRate <= 0 {
+		t.Errorf("hit rate = %v after a warm pass, want > 0", st.HitRate)
+	}
+	if st.Requests["experiment"] != 2 {
+		t.Errorf("experiment requests = %d, want 2", st.Requests["experiment"])
+	}
+	if _, ok := st.Latency["experiment"]; !ok {
+		t.Error("no latency histogram for experiment endpoint")
+	}
+}
+
+// TestServiceRunEndpoint exercises /v1/run for a baseline and a swept
+// spec, cold and warm, and the minimal-response flag.
+func TestServiceRunEndpoint(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	base := RunRequest{SpecJSON: SpecJSON{App: "radix", Procs: 4, Scale: 1.0 / 4096, Seed: 1}}
+	r1, err := c.Run(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Source != SourceComputed || r1.Cached {
+		t.Fatalf("cold run source = %q cached=%v, want computed", r1.Source, r1.Cached)
+	}
+	if r1.Result == nil || r1.Point.Slowdown != 1 {
+		t.Fatalf("baseline response incomplete: %+v", r1)
+	}
+
+	r2, err := c.Run(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Source != SourceDisk || !r2.Cached {
+		t.Fatalf("warm run source = %q, want disk", r2.Source)
+	}
+	if r2.Hash != r1.Hash || r2.ElapsedNs != r1.ElapsedNs {
+		t.Fatalf("warm run differs: %+v vs %+v", r2, r1)
+	}
+
+	// A swept spec auto-resolves its baseline (already cached here).
+	sweep := RunRequest{
+		SpecJSON: SpecJSON{App: "radix", Procs: 4, Scale: 1.0 / 4096, Seed: 1, Knob: "o", Value: 25},
+		Minimal:  true,
+	}
+	r3, err := c.Run(ctx, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Source != SourceComputed {
+		t.Fatalf("cold sweep source = %q", r3.Source)
+	}
+	if r3.Result != nil {
+		t.Fatal("minimal response still carries the full result")
+	}
+	if r3.Point.Slowdown <= 0 {
+		t.Fatalf("sweep slowdown = %v", r3.Point.Slowdown)
+	}
+}
+
+// TestServiceCoalesce pins the singleflight behavior: two concurrent
+// requests for one cold spec execute it once; the second waiter is
+// reported as coalesced.
+func TestServiceCoalesce(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	spec := run.Baseline("radix", 4, 1.0/4096, 1, false)
+	hash := spec.Hash()
+
+	// Occupy the only worker so the flight stays open until we release.
+	running := make(chan struct{})
+	release := make(chan struct{})
+	if err := s.sched.Submit("gate", func() { close(running); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+
+	type res struct {
+		src string
+		err error
+	}
+	results := make(chan res, 2)
+	resolveOne := func(client string) {
+		_, src, err := s.resolve(ctx, client, spec, nil)
+		results <- res{src, err}
+	}
+	go resolveOne("a")
+	// Wait until the first resolution owns the flight, then join it.
+	for {
+		s.mu.Lock()
+		_, ok := s.inflight[hash]
+		s.mu.Unlock()
+		if ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	go resolveOne("b")
+	close(release)
+
+	srcs := map[string]int{}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		srcs[r.src]++
+	}
+	if srcs[SourceComputed] != 1 || srcs[SourceCoalesced] != 1 {
+		t.Fatalf("sources = %v, want one computed + one coalesced", srcs)
+	}
+	s.mu.Lock()
+	coalesced := s.counts.coalesced
+	computed := s.counts.computed
+	s.mu.Unlock()
+	if coalesced != 1 || computed != 1 {
+		t.Fatalf("counters: coalesced=%d computed=%d, want 1/1", coalesced, computed)
+	}
+}
+
+// TestServiceBackpressure drives the daemon into queue-full and checks
+// the HTTP contract: 429, a Retry-After hint, and a successful retry
+// once capacity frees up.
+func TestServiceBackpressure(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1, MaxQueue: 1})
+	ctx := context.Background()
+
+	running := make(chan struct{})
+	release := make(chan struct{})
+	if err := s.sched.Submit("gate", func() { close(running); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	// Fill the whole admission queue.
+	if err := s.sched.Submit("filler", func() {}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := c.Run(ctx, RunRequest{SpecJSON: SpecJSON{App: "radix", Procs: 4, Scale: 1.0 / 4096, Seed: 1}})
+	re, ok := err.(*RetryError)
+	if !ok {
+		t.Fatalf("err = %v, want *RetryError", err)
+	}
+	if re.After < time.Second || re.After > 30*time.Second {
+		t.Fatalf("Retry-After = %v, want within [1s, 30s]", re.After)
+	}
+
+	close(release)
+	// Honor the hint the way a polite client would, but poll faster to
+	// keep the test quick — capacity is free as soon as the gate drops.
+	var got *RunResponse
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, err = c.Run(ctx, RunRequest{SpecJSON: SpecJSON{App: "radix", Procs: 4, Scale: 1.0 / 4096, Seed: 1}})
+		if err == nil {
+			break
+		}
+		if _, retry := err.(*RetryError); !retry || time.Now().After(deadline) {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got.Source != SourceComputed {
+		t.Fatalf("retry source = %q, want computed", got.Source)
+	}
+
+	st := s.Stats()
+	if st.Cache.Rejected == 0 {
+		t.Errorf("stats rejected = 0, want > 0: %+v", st.Cache)
+	}
+}
+
+// TestServiceSweepSSE streams a sweep and checks the event protocol:
+// one progress event per run with a monotonic done counter, then a
+// result event whose body matches the non-streaming response.
+func TestServiceSweepSSE(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	sweepReq := SweepRequest{
+		App: "radix", Procs: 4, Scale: 1.0 / 4096, Seed: 1,
+		Knob: "o", Values: []float64{5, 25},
+	}
+	plain, err := c.Sweep(ctx, sweepReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(plain.Points))
+	}
+
+	body, err := json.Marshal(sweepReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/v1/sweep?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	var progress []PlanEvent
+	var result *SweepResponse
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "progress":
+				var ev PlanEvent
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					t.Fatal(err)
+				}
+				progress = append(progress, ev)
+			case "result":
+				result = &SweepResponse{}
+				if err := json.Unmarshal([]byte(data), result); err != nil {
+					t.Fatal(err)
+				}
+			case "error":
+				t.Fatalf("stream error event: %s", data)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 runs: baseline + 2 points (all warm from the plain request).
+	if len(progress) != 3 {
+		t.Fatalf("progress events = %d, want 3", len(progress))
+	}
+	for i, ev := range progress {
+		if ev.Done != i+1 || ev.Total != 3 {
+			t.Fatalf("event %d = %+v, want done=%d total=3", i, ev, i+1)
+		}
+		if ev.Err != "" {
+			t.Fatalf("event %d carries error %q", i, ev.Err)
+		}
+	}
+	if result == nil {
+		t.Fatal("no result event")
+	}
+	if result.BaseHash != plain.BaseHash || len(result.Points) != len(plain.Points) {
+		t.Fatalf("streamed result differs from plain: %+v vs %+v", result, plain)
+	}
+	for i := range result.Points {
+		if result.Points[i].Hash != plain.Points[i].Hash || result.Points[i].Slowdown != plain.Points[i].Slowdown {
+			t.Fatalf("streamed point %d differs: %+v vs %+v", i, result.Points[i], plain.Points[i])
+		}
+	}
+}
+
+// TestServiceBadRequests pins the error contract for malformed input.
+func TestServiceBadRequests(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	wantStatus := func(err error, code int) {
+		t.Helper()
+		se, ok := err.(*StatusError)
+		if !ok {
+			t.Fatalf("err = %v, want *StatusError", err)
+		}
+		if se.Code != code {
+			t.Fatalf("status = %d (%s), want %d", se.Code, se.Message, code)
+		}
+	}
+
+	_, err := c.Run(ctx, RunRequest{SpecJSON: SpecJSON{App: "", Procs: 4, Scale: 1}})
+	wantStatus(err, http.StatusBadRequest)
+
+	_, err = c.Run(ctx, RunRequest{SpecJSON: SpecJSON{App: "radix", Procs: 4, Scale: 1.0 / 4096, Knob: "zz"}})
+	wantStatus(err, http.StatusBadRequest)
+
+	_, err = c.Run(ctx, RunRequest{SpecJSON: SpecJSON{App: "no-such-app", Procs: 4, Scale: 1.0 / 4096, Seed: 1}})
+	wantStatus(err, http.StatusInternalServerError)
+
+	_, err = c.Sweep(ctx, SweepRequest{App: "radix", Procs: 4, Scale: 1.0 / 4096, Knob: "o"})
+	wantStatus(err, http.StatusBadRequest) // no values
+
+	_, err = c.Sweep(ctx, SweepRequest{App: "radix", Procs: 4, Scale: 1.0 / 4096, Knob: "", Values: []float64{1}})
+	wantStatus(err, http.StatusBadRequest) // sweep without a knob
+
+	_, err = c.Experiment(ctx, ExperimentRequest{ID: "no-such-figure"})
+	wantStatus(err, http.StatusBadRequest)
+
+	// Unknown JSON fields are rejected, not silently dropped.
+	resp, herr := c.httpClient().Post(c.BaseURL+"/v1/run", "application/json",
+		strings.NewReader(`{"app":"radix","procs":4,"scale":0.001,"bogus":1}`))
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServicePersistsAcrossRestart pins the "persistent" in persistent
+// cache: a new daemon over the same directory serves the old answers.
+func TestServicePersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := ExperimentRequest{ID: "fig5b", Options: quickFig5bOptions()}
+
+	_, c1 := newTestServer(t, Config{Workers: 4, CacheDir: dir})
+	cold, err := c1.Experiment(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, c2 := newTestServer(t, Config{Workers: 4, CacheDir: dir})
+	warm, err := c2.Experiment(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.DiskHits != warm.Cache.Total {
+		t.Fatalf("restarted daemon cache counts = %+v, want 100%% disk hits", warm.Cache)
+	}
+	if warm.Text != cold.Text {
+		t.Error("restarted daemon's table not byte-identical")
+	}
+}
+
+// TestServiceConcurrentMixedLoad fires many concurrent requests with
+// mixed hot and cold keys through the full HTTP stack (run under -race
+// in CI): every response must be consistent for its key.
+func TestServiceConcurrentMixedLoad(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 4})
+	ctx := context.Background()
+
+	seeds := []int64{1, 2, 3}
+	var wg sync.WaitGroup
+	type obs struct {
+		seed int64
+		hash string
+		ns   int64
+	}
+	results := make(chan obs, 64)
+	errs := make(chan error, 64)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := &Client{BaseURL: c.BaseURL, ID: "client-" + strconv.Itoa(i%4), HTTP: c.HTTP}
+			seed := seeds[i%len(seeds)]
+			for {
+				r, err := cl.Run(ctx, RunRequest{
+					SpecJSON: SpecJSON{App: "radix", Procs: 4, Scale: 1.0 / 4096, Seed: seed},
+					Minimal:  true,
+				})
+				if err != nil {
+					if _, retry := err.(*RetryError); retry {
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
+					errs <- err
+					return
+				}
+				results <- obs{seed, r.Hash, r.ElapsedNs}
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	byShard := map[int64]obs{}
+	n := 0
+	for o := range results {
+		n++
+		if prev, ok := byShard[o.seed]; ok {
+			if prev.hash != o.hash || prev.ns != o.ns {
+				t.Fatalf("seed %d answers diverge: %+v vs %+v", o.seed, prev, o)
+			}
+		} else {
+			byShard[o.seed] = o
+		}
+	}
+	if n != 24 {
+		t.Fatalf("got %d responses, want 24", n)
+	}
+}
