@@ -5,6 +5,7 @@
 //
 //	reprod serve [-addr :8080] [-cache .reprod-cache] [-workers N] [-max-queue N] [-addr-file path]
 //	reprod loadtest [-addr URL] [-n 5000] [-concurrency 1000] [-hot 0.75] [-out results/BENCH_service.json]
+//	reprod tolbench [-addr URL] [-app radix] [-points 40] [-out results/BENCH_tolerance.json]
 //
 // serve binds the daemon; -addr-file records the actual listen address
 // (useful with ':0' in CI). loadtest drives a daemon — the one at -addr,
@@ -12,9 +13,13 @@
 // concurrent clients over a mixed hot/cold key population, honors 429
 // backpressure via Retry-After, and writes a machine-readable report
 // (requests/sec, client latency percentiles, server cache hit rate).
+// tolbench asks one daemon the same overhead-sweep question both ways —
+// N+1 simulations vs one instrumented run through the analytic fast
+// path (/v1/sweep with "analytic": true) — and reports the wall-clock
+// ratio and the analytic-vs-measured error over the grid.
 //
-// Endpoints: POST /v1/run, /v1/sweep, /v1/experiment (add ?stream=1 for
-// SSE progress), GET /v1/stats, /healthz. Example:
+// Endpoints: POST /v1/run, /v1/sweep, /v1/tolerance, /v1/experiment
+// (add ?stream=1 for SSE progress), GET /v1/stats, /healthz. Example:
 //
 //	curl -s localhost:8080/v1/run -d '{"app":"radix","procs":32,"scale":0.00390625,"seed":1}'
 package main
@@ -52,6 +57,8 @@ func main() {
 		err = serveCmd(os.Args[2:])
 	case "loadtest":
 		err = loadtestCmd(os.Args[2:])
+	case "tolbench":
+		err = tolbenchCmd(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -69,7 +76,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   reprod serve    [-addr :8080] [-cache DIR] [-workers N] [-max-queue N] [-addr-file PATH]
-  reprod loadtest [-addr URL] [-cache DIR] [-n N] [-concurrency N] [-hot FRAC] [-seed N] [-out PATH]`)
+  reprod loadtest [-addr URL] [-cache DIR] [-n N] [-concurrency N] [-hot FRAC] [-seed N] [-out PATH]
+  reprod tolbench [-addr URL] [-app NAME] [-procs N] [-scale F] [-seed N] [-points N] [-out PATH]`)
 }
 
 // serveCmd binds the daemon and runs until SIGINT/SIGTERM, then shuts
@@ -157,6 +165,185 @@ type latencyReport struct {
 	P90Us  int64 `json:"p90"`
 	P99Us  int64 `json:"p99"`
 	MaxUs  int64 `json:"max"`
+}
+
+// tolReport is the machine-readable analytic-sweep benchmark
+// (BENCH_tolerance.json): one overhead sweep answered twice — by N+1
+// simulations through /v1/sweep, and by one instrumented run through
+// the analytic fast path — with the wall-clock ratio and the
+// cross-validation error between the two answers.
+type tolReport struct {
+	Schema    int    `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+
+	App    string  `json:"app"`
+	Procs  int     `json:"procs"`
+	Scale  float64 `json:"scale"`
+	Seed   int64   `json:"seed"`
+	Knob   string  `json:"knob"`
+	Points int     `json:"points"`
+
+	// Cold analytic: one instrumented simulation + curve evaluation.
+	AnalyticColdMs   float64 `json:"analytic_cold_wall_ms"`
+	AnalyticColdRuns int     `json:"analytic_cold_runs"`
+	// Warm analytic: pure curve evaluation from the persistent store.
+	AnalyticWarmMs   float64 `json:"analytic_warm_wall_ms"`
+	AnalyticWarmRuns int     `json:"analytic_warm_runs"`
+	// Measured: baseline + one simulation per point.
+	MeasuredMs   float64 `json:"measured_wall_ms"`
+	MeasuredRuns int     `json:"measured_runs"`
+
+	SpeedupCold float64 `json:"speedup_cold"` // measured / analytic-cold
+	SpeedupWarm float64 `json:"speedup_warm"` // measured / analytic-warm
+
+	// Agreement between the two answers over the swept points.
+	ErrAtZeroPct float64 `json:"err_at_zero_pct"`
+	MaxAbsErrPct float64 `json:"max_abs_err_pct"`
+	Workers      int     `json:"workers"`
+}
+
+// tolbenchCmd quantifies the analytic fast path: it asks one daemon the
+// same overhead-sweep question both ways on a cold cache and reports
+// the wall-clock ratio (the PR's ≥10× headline) plus the analytic-vs-
+// measured error over the grid.
+func tolbenchCmd(args []string) error {
+	fs := flag.NewFlagSet("tolbench", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "", "daemon base URL; empty spawns an in-process daemon on a fresh temp cache")
+		app     = fs.String("app", "radix", "application")
+		procs   = fs.Int("procs", 8, "cluster size")
+		scale   = fs.Float64("scale", 1.0/2048, "input scale")
+		seed    = fs.Int64("seed", 1, "simulation seed")
+		points  = fs.Int("points", 40, "sweep grid size (overhead deltas, µs)")
+		out     = fs.String("out", "results/BENCH_tolerance.json", "report path ('' = stdout only)")
+		workers = fs.Int("workers", 0, "in-process daemon worker count (0 = GOMAXPROCS)")
+	)
+	fs.Parse(args)
+	if *points < 2 {
+		return errors.New("tolbench: -points must be at least 2")
+	}
+
+	base := *addr
+	if base == "" {
+		tmp, err := os.MkdirTemp("", "reprod-tolbench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		s, err := service.New(service.Config{CacheDir: tmp, Workers: *workers})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "reprod: in-process daemon on %s (cache %s)\n", base, tmp)
+	}
+
+	// A 40-point overhead grid over the paper's sweep range [0, 100) µs.
+	values := make([]float64, *points)
+	for i := range values {
+		values[i] = 100 * float64(i) / float64(*points)
+	}
+	ctx := context.Background()
+	c := &service.Client{BaseURL: base, ID: "tolbench"}
+	req := service.SweepRequest{
+		App: *app, Procs: *procs, Scale: *scale, Seed: *seed,
+		Knob: "o", Values: values,
+	}
+
+	sweep := func(analytic bool) (*service.SweepResponse, time.Duration, error) {
+		r := req
+		r.Analytic = analytic
+		t0 := time.Now()
+		resp, err := c.Sweep(ctx, r)
+		return resp, time.Since(t0), err
+	}
+
+	// Analytic first (cold, then warm), so the measured sweep cannot have
+	// pre-warmed anything for it: the instrumented baseline keys
+	// separately from every measured run.
+	anaCold, coldWall, err := sweep(true)
+	if err != nil {
+		return fmt.Errorf("tolbench: analytic sweep: %w", err)
+	}
+	anaWarm, warmWall, err := sweep(true)
+	if err != nil {
+		return fmt.Errorf("tolbench: warm analytic sweep: %w", err)
+	}
+	meas, measWall, err := sweep(false)
+	if err != nil {
+		return fmt.Errorf("tolbench: measured sweep: %w", err)
+	}
+
+	rep := tolReport{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		App:       *app, Procs: *procs, Scale: *scale, Seed: *seed,
+		Knob: "o", Points: *points,
+		AnalyticColdMs:   float64(coldWall.Nanoseconds()) / 1e6,
+		AnalyticColdRuns: anaCold.Cache.Computed,
+		AnalyticWarmMs:   float64(warmWall.Nanoseconds()) / 1e6,
+		AnalyticWarmRuns: anaWarm.Cache.Computed,
+		MeasuredMs:       float64(measWall.Nanoseconds()) / 1e6,
+		MeasuredRuns:     meas.Cache.Computed,
+		SpeedupCold:      float64(measWall) / float64(coldWall),
+		SpeedupWarm:      float64(measWall) / float64(warmWall),
+	}
+	for i, mp := range meas.Points {
+		if mp.Livelocked || mp.ElapsedNs == 0 || i >= len(anaCold.Points) {
+			continue
+		}
+		e := 100 * abs(float64(anaCold.Points[i].ElapsedNs)-float64(mp.ElapsedNs)) / float64(mp.ElapsedNs)
+		if mp.Value == 0 {
+			rep.ErrAtZeroPct = e
+		}
+		if e > rep.MaxAbsErrPct {
+			rep.MaxAbsErrPct = e
+		}
+	}
+	stc := &service.Client{BaseURL: base}
+	if st, err := stc.Stats(ctx); err == nil {
+		rep.Workers = st.Sched.Workers
+	}
+
+	fmt.Printf("tolbench: %s p%d ×%d points: measured %.0fms (%d runs) vs analytic %.0fms cold / %.1fms warm → %.1fx / %.0fx; max err %.1f%%, err at Δ=0 %.2f%%\n",
+		rep.App, rep.Procs, rep.Points, rep.MeasuredMs, rep.MeasuredRuns,
+		rep.AnalyticColdMs, rep.AnalyticWarmMs, rep.SpeedupCold, rep.SpeedupWarm,
+		rep.MaxAbsErrPct, rep.ErrAtZeroPct)
+	if *out == "" {
+		return nil
+	}
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("tolbench: report written to %s\n", *out)
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // loadtestCmd drives a daemon with seeded concurrent clients over a

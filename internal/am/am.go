@@ -132,6 +132,10 @@ type Machine struct {
 	eps    []*Endpoint
 	stats  *Stats
 	hooks  Hooks
+	// wire is the cached WireHooks downcast of hooks, resolved once in
+	// SetHooks so the per-message wire events need no type assertion on
+	// the hot path (nil when hooks does not implement WireHooks).
+	wire WireHooks
 
 	// faults, when set, is consulted for every physical wire transmission
 	// and every explicit processor charge (see SetFaults).
@@ -196,6 +200,7 @@ func (m *Machine) Stats() *Stats { return m.stats }
 // conservation proof needs to see time zero onward.
 func (m *Machine) SetHooks(h Hooks) {
 	m.hooks = h
+	m.wire, _ = h.(WireHooks)
 	ch, _ := h.(ClockHooks)
 	for i, ep := range m.eps {
 		if ch == nil {
@@ -602,6 +607,10 @@ func (ep *Endpoint) launch(msg *message) {
 	if ep.m.hooks != nil {
 		ep.m.hooks.MessageSent(msg.src, msg.dst, msg.class, bulk, ep.proc.Clock())
 	}
+	if wh := ep.m.wire; wh != nil {
+		reply := msg.kind == kindReply || msg.kind == kindBulkReply
+		wh.MessageLaunched(msg.src, msg.dst, reply, bulk, inject, inject+wire)
+	}
 	if r := ep.rel; r != nil {
 		r.send(ep, msg, inject, inject+wire)
 		return
@@ -664,6 +673,9 @@ func (m *Machine) scheduleArrival(msg *message, at sim.Time) {
 //
 //repro:hotpath
 func (m *Machine) returnCredit(requester, responder int, at sim.Time) {
+	if wh := m.wire; wh != nil {
+		wh.CreditIssued(requester, responder, at)
+	}
 	msg := m.getMsg()
 	msg.kind, msg.src, msg.dst = kindCredit, requester, responder
 	m.eng.ScheduleCall(at+m.params.EffLatency(), creditEvent, msg)

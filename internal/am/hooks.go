@@ -94,6 +94,28 @@ type ClockHooks interface {
 	ClockAdvanced(proc int, kind sim.ClockKind, from, to sim.Time)
 }
 
+// WireHooks is the optional extension for hooks that must follow message
+// identity through the network stages the base Hooks interface only
+// reports as per-processor charges: injection into the wire, delivery at
+// the destination NIC, and the implicit flow-control credit a request
+// returns to its sender. internal/depgraph uses it to stitch the
+// per-processor event streams into a cross-processor dependency graph.
+// When the attached Hooks value also implements WireHooks, SetHooks
+// caches the downcast once so the per-message calls stay allocation-free.
+type WireHooks interface {
+	// MessageLaunched fires when a message leaves the transmit context:
+	// it occupies the wire on [inject, arrival). reply marks responses
+	// (including bulk reply fragments), which bypass the request window.
+	MessageLaunched(src, dst int, reply, bulk bool, inject, arrival sim.Time)
+	// MessageDelivered fires when the message lands in the destination
+	// inbox, before any receive overhead is charged.
+	MessageDelivered(src, dst int, reply bool, at sim.Time)
+	// CreditIssued fires when a handled-but-unreplied request frees its
+	// sender-side window slot: the implicit credit leaves the responder at
+	// time at and reaches the requester one wire latency later.
+	CreditIssued(requester, responder int, at sim.Time)
+}
+
 // NopHooks is the embeddable no-op base: embed it and override only the
 // events you need, so adding a Hooks method is not a breaking change for
 // downstream instrumentation.
@@ -206,6 +228,38 @@ func (m MultiHooks) ClockAdvanced(proc int, kind sim.ClockKind, from, to sim.Tim
 	for _, h := range m {
 		if ch, ok := h.(ClockHooks); ok {
 			ch.ClockAdvanced(proc, kind, from, to)
+		}
+	}
+}
+
+var _ WireHooks = MultiHooks(nil)
+
+// MessageLaunched implements WireHooks, forwarding to the elements that
+// opted into wire events.
+func (m MultiHooks) MessageLaunched(src, dst int, reply, bulk bool, inject, arrival sim.Time) {
+	for _, h := range m {
+		if wh, ok := h.(WireHooks); ok {
+			wh.MessageLaunched(src, dst, reply, bulk, inject, arrival)
+		}
+	}
+}
+
+// MessageDelivered implements WireHooks, forwarding to the elements that
+// opted into wire events.
+func (m MultiHooks) MessageDelivered(src, dst int, reply bool, at sim.Time) {
+	for _, h := range m {
+		if wh, ok := h.(WireHooks); ok {
+			wh.MessageDelivered(src, dst, reply, at)
+		}
+	}
+}
+
+// CreditIssued implements WireHooks, forwarding to the elements that
+// opted into wire events.
+func (m MultiHooks) CreditIssued(requester, responder int, at sim.Time) {
+	for _, h := range m {
+		if wh, ok := h.(WireHooks); ok {
+			wh.CreditIssued(requester, responder, at)
 		}
 	}
 }

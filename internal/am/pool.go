@@ -72,9 +72,14 @@ func (m *Machine) updatePooling() {
 //repro:hotpath
 func deliverEvent(arg any, at sim.Time) {
 	msg := arg.(*message)
-	dst := msg.m.eps[msg.dst]
-	if msg.kind == kindReply || msg.kind == kindBulkReply {
+	m := msg.m
+	dst := m.eps[msg.dst]
+	reply := msg.kind == kindReply || msg.kind == kindBulkReply
+	if reply {
 		dst.outstanding.dec(msg.src)
+	}
+	if wh := m.wire; wh != nil {
+		wh.MessageDelivered(msg.src, msg.dst, reply, at)
 	}
 	msg.arrival = at
 	dst.pushInbox(msg)

@@ -78,10 +78,12 @@ func simScopes() []string {
 		"internal/am",
 		"internal/apps",
 		"internal/core",
+		"internal/depgraph",
 		"internal/fault",
 		"internal/logp",
 		"internal/prof",
 		"internal/splitc",
+		"internal/tolerance",
 	}
 }
 
@@ -94,9 +96,11 @@ func noGlobalScopes() []string {
 		"internal/exp",
 		"internal/run",
 		"internal/apps",
+		"internal/depgraph",
 		"internal/fault",
 		"internal/prof",
 		"internal/splitc/tune",
+		"internal/tolerance",
 	}
 }
 

@@ -30,3 +30,24 @@ func TestServiceScopeDecision(t *testing.T) {
 		t.Error("repro/internal/run missing from noGlobalScopes")
 	}
 }
+
+// TestDepgraphScopeDecision pins the analytic engine's side of the
+// boundary (DESIGN.md §14): internal/depgraph builds its DAG inside the
+// simulation loop — one event hook per message phase, on the clock's
+// critical path — and internal/tolerance is pure int64 arithmetic over
+// that DAG, re-run by the daemon's analytic fast path. Both must be
+// single-goroutine, wall-clock-free, and free of package-level mutable
+// state so instrumented runs stay deterministic and the -jobs pool can
+// analyze overlapping specs concurrently. (hotpathalloc needs no scope
+// entry: it follows //repro:hotpath directives, which the builder's
+// steady-path functions carry.)
+func TestDepgraphScopeDecision(t *testing.T) {
+	for _, pkg := range []string{"repro/internal/depgraph", "repro/internal/tolerance"} {
+		if !inScope(pkg, simScopes()) {
+			t.Errorf("%s missing from simScopes; the analytic engine runs inside the simulation boundary", pkg)
+		}
+		if !inScope(pkg, noGlobalScopes()) {
+			t.Errorf("%s missing from noGlobalScopes; concurrent workers analyze overlapping specs", pkg)
+		}
+	}
+}

@@ -9,11 +9,13 @@ import (
 	"sort"
 
 	"repro/internal/am"
+	"repro/internal/depgraph"
 	"repro/internal/fault"
 	"repro/internal/logp"
 	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/splitc"
+	"repro/internal/tolerance"
 )
 
 // Config controls an application run.
@@ -58,6 +60,12 @@ type Config struct {
 	// pick against Params). The zero value keeps the historical
 	// defaults.
 	Collectives splitc.Collectives
+	// Depgraph attaches a depgraph.Builder to the run and fills
+	// Result.Graph / Result.Curves with the parametric communication DAG
+	// and its analytic makespan curves (internal/tolerance). The builder
+	// requires a lossless, fault-free wire: NewWorld rejects the
+	// combination with FaultPlan or Reliability.
+	Depgraph bool
 }
 
 // DefaultScale is the harness-wide default input scale.
@@ -99,6 +107,18 @@ type Result struct {
 	// Sched reports the engine's scheduler counters for the run — the
 	// axis the reprobench harness tracks across engine changes.
 	Sched SchedCounters
+	// Graph is the parametric communication DAG extracted from the run
+	// (nil unless Config.Depgraph was set). Excluded from JSON: it is
+	// message-proportional; persist Curves instead.
+	Graph *depgraph.Graph `json:"-"`
+	// Curves are the analytic makespan curves T(Δo), T(ΔL), T(Δg)
+	// derived from Graph (nil unless Config.Depgraph was set and the
+	// analysis self-check passed).
+	Curves *tolerance.Curves
+	// DepgraphErr records why graph extraction or analysis failed for a
+	// Depgraph run ("" on success) — e.g. the run did something outside
+	// the model's validity region.
+	DepgraphErr string `json:",omitempty"`
 }
 
 // SchedCounters is the engine's scheduling cost profile for one run.
@@ -163,6 +183,15 @@ func NewWorld(cfg Config) (*splitc.World, error) {
 	if cfg.Profile {
 		hs = append(hs, prof.New(cfg.Procs))
 	}
+	if cfg.Depgraph {
+		if cfg.FaultPlan != nil && !cfg.FaultPlan.Empty() {
+			return nil, fmt.Errorf("apps: Depgraph cannot model a faulted wire; drop Config.FaultPlan")
+		}
+		if cfg.Reliability.Enabled {
+			return nil, fmt.Errorf("apps: Depgraph cannot model retransmissions; drop Config.Reliability")
+		}
+		hs = append(hs, depgraph.New(cfg.Procs, cfg.Params))
+	}
 	if len(hs) > 0 {
 		w.Attach(hs...)
 	}
@@ -188,7 +217,31 @@ func Finish(app App, cfg Config, w *splitc.World, verified bool) Result {
 	if pf := prof.Attached(w); pf != nil {
 		res.Profile = pf.Snapshot(w)
 	}
+	if b := depgraphAttached(w); b != nil {
+		g, err := b.Seal(w.Elapsed())
+		if err != nil {
+			res.DepgraphErr = err.Error()
+			return res
+		}
+		res.Graph = g
+		cs, err := tolerance.Analyze(g)
+		if err != nil {
+			res.DepgraphErr = err.Error()
+			return res
+		}
+		res.Curves = cs
+	}
 	return res
+}
+
+// depgraphAttached returns the world's depgraph builder (nil when none).
+func depgraphAttached(w *splitc.World) *depgraph.Builder {
+	for _, h := range w.Attached() {
+		if b, ok := h.(*depgraph.Builder); ok {
+			return b
+		}
+	}
+	return nil
 }
 
 // ScaleInt scales a paper-sized integer quantity, keeping at least min.

@@ -1,0 +1,58 @@
+package scalekern
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// TestDepgraphFootprint pins the extracted DAG's memory per simulated
+// processor at P = 10k for the weak-scaling kernels, extending
+// TestSteadyStateFootprint's pattern to the analytic engine. The graph
+// is message-proportional by design — ~4 arena nodes per message, with
+// per-processor state bounded by pendFold — so bytes/proc must track
+// per-processor work, not machine size: an O(P) slip in the builder
+// (or growth in the arena's node/edge records) multiplies these figures
+// and decides whether instrumenting the million-processor rung fits in
+// memory.
+//
+// Budgets are ~1.5x the measured values at Scale = 1/256 (radix ~35 KB,
+// em3d ~44 KB, pray ~13 KB per processor), absorbing work-floor drift
+// while catching any asymptotic change. Radix and em3d carry the larger
+// budgets because their per-processor message counts include the
+// log P-deep scan and ring traffic.
+func TestDepgraphFootprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second large-P instrumented runs")
+	}
+	const P = 10_000
+	cases := []struct {
+		name   string
+		budget float64 // DAG bytes per processor
+	}{
+		{"scale-radix", 53248},
+		{"scale-em3d", 66560},
+		{"scale-pray", 20480},
+	}
+	for _, tc := range cases {
+		a, err := ByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := apps.Config{Procs: P, Scale: 1.0 / 256, Seed: 1, Depgraph: true}.Norm()
+		res, err := a.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.DepgraphErr != "" {
+			t.Fatalf("%s: depgraph: %s", tc.name, res.DepgraphErr)
+		}
+		g := res.Graph
+		perProc := float64(g.MemBytes()) / P
+		t.Logf("%s: %d nodes, %d edges, %.0f DAG bytes/proc at P=%d", tc.name, g.NumNodes(), g.NumEdges(), perProc, P)
+		if perProc > tc.budget {
+			t.Errorf("%s: %.0f DAG bytes/proc at P=%d exceeds the %v-byte budget — a per-processor or per-record cost is growing",
+				tc.name, perProc, P, tc.budget)
+		}
+	}
+}

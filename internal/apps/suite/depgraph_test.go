@@ -1,0 +1,45 @@
+package suite
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// TestDepgraphAllApps pins the analytic engine's coverage of the full
+// benchmark suite: every app's instrumented run must extract a DAG
+// whose longest path reproduces the run's makespan on every axis —
+// tolerance.Analyze self-checks Base() against the run's elapsed time
+// and Finish surfaces any disagreement through DepgraphErr. A failure
+// here means some communication pattern (a new primitive, a new wait
+// shape) is charged by the machine but not captured by the graph
+// builder's event hooks.
+func TestDepgraphAllApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("instrumented runs of the full suite")
+	}
+	for _, a := range All() {
+		t.Run(a.Name(), func(t *testing.T) {
+			cfg := apps.Config{Procs: 8, Scale: 1.0 / 2048, Depgraph: true}.Norm()
+			res, err := a.Run(cfg)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.DepgraphErr != "" {
+				t.Fatalf("depgraph: %s", res.DepgraphErr)
+			}
+			if res.Graph == nil || res.Curves == nil {
+				t.Fatal("instrumented run returned no graph or curves")
+			}
+			for _, axis := range []string{"o", "L", "g"} {
+				c, ok := res.Curves.ByAxis(axis)
+				if !ok {
+					t.Fatalf("no %s curve", axis)
+				}
+				if c.Base() != res.Elapsed {
+					t.Errorf("Δ%s: Base() = %d, run elapsed %d", axis, c.Base(), res.Elapsed)
+				}
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/am"
 	"repro/internal/apps"
 	"repro/internal/apps/suite"
+	"repro/internal/depgraph"
 	"repro/internal/exp"
 	"repro/internal/logp"
 	"repro/internal/sim"
@@ -62,6 +63,7 @@ func Run(o Options) (*Report, error) {
 	}
 	cases := []func() (Case, error){
 		func() (Case, error) { return pingPong(msgs) },
+		func() (Case, error) { return pingPongDepgraph(msgs) },
 		func() (Case, error) { return bulkStream(bulks) },
 		func() (Case, error) { return appCase("radix", o) },
 		func() (Case, error) { return appCase("em3d-read", o) },
@@ -153,6 +155,48 @@ func pingPong(n int) (Case, error) {
 				m.Endpoint(1).WaitUntil(func() bool { return seen == n }, "bench: sink")
 			},
 		})
+		return eng, err
+	})
+}
+
+// pingPongDepgraph is the same windowed short-message stream with a
+// depgraph.Builder attached: the delta against short-message-stream pins
+// the analytic engine's extraction overhead on the hottest path, and
+// AllocsPerMsg pins its zero-per-event-allocation property (the arena
+// allocates one chunk per 8k records, amortized to ~0 per message).
+// Seal is included — it is part of every instrumented run — but the
+// breakpoint analysis is not: that cost scales with curve complexity,
+// not message rate, and is pinned by BENCH_tolerance.json instead.
+func pingPongDepgraph(n int) (Case, error) {
+	return measure("short-message-stream-depgraph", int64(n), microReps, func() (*sim.Engine, error) {
+		eng := sim.New(sim.Config{Procs: 2})
+		params := logp.NOW()
+		m, err := am.NewMachine(eng, params)
+		if err != nil {
+			return nil, err
+		}
+		b := depgraph.New(2, params)
+		m.SetHooks(b)
+		seen := 0
+		handler := func(*am.Endpoint, *am.Token, am.Args) { seen++ }
+		err = eng.RunEach([]func(*sim.Proc){
+			func(p *sim.Proc) {
+				ep := m.Endpoint(0)
+				for i := 0; i < n; i++ {
+					ep.Request(1, am.ClassWrite, handler, am.Args{})
+				}
+				ep.WaitUntil(func() bool { return seen == n }, "bench: drain")
+			},
+			func(p *sim.Proc) {
+				m.Endpoint(1).WaitUntil(func() bool { return seen == n }, "bench: sink")
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := b.Seal(eng.MaxClock()); err != nil {
+			return nil, fmt.Errorf("seal: %w", err)
+		}
 		return eng, err
 	})
 }

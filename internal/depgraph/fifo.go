@@ -1,0 +1,102 @@
+package depgraph
+
+import "repro/internal/sim"
+
+// fifo is an index queue with amortized O(1) push/pop and no
+// steady-state allocation: the backing array is reused whenever the
+// queue drains, so a warmed queue cycles through one buffer forever.
+type fifo struct {
+	buf  []int32
+	head int
+}
+
+//repro:hotpath
+func (q *fifo) push(v int32) {
+	if q.head > 0 && q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	q.buf = append(q.buf, v) //lint:allow hotpathalloc amortized growth, buffer reused once warmed
+}
+
+//repro:hotpath
+func (q *fifo) pop() (int32, bool) {
+	if q.head >= len(q.buf) {
+		return -1, false
+	}
+	v := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v, true
+}
+
+func (q *fifo) len() int { return len(q.buf) - q.head }
+
+//repro:hotpath
+func (q *fifo) peek() int32 {
+	if q.head >= len(q.buf) {
+		return -1
+	}
+	return q.buf[q.head]
+}
+
+// heapq is a min-heap of (arrival, node) pairs ordered by arrival with
+// node index as the deterministic tie-break. The window-free queue
+// needs it because frees are observed out of arrival order: a firmware
+// credit's hook fires at issue time, one wire latency before the
+// credit lands, while a reply's free is observed at its arrival — but
+// the machine consumes frees strictly in arrival order.
+type heapq struct {
+	a []heapEnt
+}
+
+type heapEnt struct {
+	val  sim.Time
+	node int32
+}
+
+func (e heapEnt) less(o heapEnt) bool {
+	return e.val < o.val || (e.val == o.val && e.node < o.node)
+}
+
+//repro:hotpath
+func (h *heapq) push(val sim.Time, node int32) {
+	h.a = append(h.a, heapEnt{val, node}) //lint:allow hotpathalloc amortized growth, buffer reused once warmed
+	for i := len(h.a) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h.a[i].less(h.a[p]) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+//repro:hotpath
+func (h *heapq) pop() (int32, bool) {
+	if len(h.a) == 0 {
+		return -1, false
+	}
+	n := h.a[0].node
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= last {
+			break
+		}
+		if r := c + 1; r < last && h.a[r].less(h.a[c]) {
+			c = r
+		}
+		if !h.a[c].less(h.a[i]) {
+			break
+		}
+		h.a[i], h.a[c] = h.a[c], h.a[i]
+		i = c
+	}
+	return n, true
+}

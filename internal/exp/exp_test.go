@@ -22,7 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig3", "table2", "table3", "fig4", "table4",
 		"fig5a", "fig5b", "table5", "fig6", "table6", "fig7", "fig8",
 		"ext-burst", "ext-tradeoff", "ext-phases", "profile", "faults",
-		"collectives", "scale"}
+		"collectives", "scale", "tolerance"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))

@@ -15,7 +15,7 @@ import (
 // the meaning of an existing one: old on-disk cache entries then stop
 // matching instead of silently aliasing different runs. The golden
 // vectors in hash_test.go pin the encoding release-to-release.
-const hashVersion = "repro/run.Spec/v1"
+const hashVersion = "repro/run.Spec/v2"
 
 // Hash is the canonical, process-stable content address of the run the
 // spec describes. Equal specs (after normalization) hash equally in
@@ -64,6 +64,7 @@ func (s Spec) canonical() string {
 	wr("coll.barrier", s.Coll.Barrier)
 	wr("coll.broadcast", s.Coll.Broadcast)
 	wr("coll.allreduce", s.Coll.AllReduce)
+	wr("depgraph", strconv.FormatBool(s.Depgraph))
 	return b.String()
 }
 

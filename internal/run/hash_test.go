@@ -19,25 +19,25 @@ var goldenHashes = []struct {
 }{
 	{
 		Baseline("radix", 32, 1.0/256, 1, false),
-		"6d7a266fac1e78fb942db7e92db8543b00497bedc8a22fa6104870605829240f",
+		"b62bf3ec62e1e623297518a38090da9ea4b78e6d7fab5cd2745554e315fec472",
 	},
 	{
 		Spec{App: "radix", Procs: 32, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobO, Value: 25},
-		"4df2adf70c6107b8b330447edf3afd0673aad1fe59271b6b9b708c86ccdd1878",
+		"3df665ae36c0b57941bf3700fbee46b096647da8475f057301e8b1e5453726c9",
 	},
 	{
 		Spec{App: "em3d-read", Procs: 8, Scale: 0.00048828125, Seed: 7, Knob: core.KnobG, Value: 24.2, Profile: true},
-		"0a429199bdc5d1a383d37c2e8e0db90c8a5d8f5a2bbfddacbe79d17bcc21eddf",
+		"23cf259dff0b0eb509afce75e537ee4587f0d5d6a3e25437ef260f246c5c1eaf",
 	},
 	{
 		Spec{App: "nowsort", Procs: 16, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobNone,
 			Fault: FaultSpec{DelayProc: 3, DelayAtFrac: 0.5, DelayUs: 1000}},
-		"1d3414a1ddfb758790c3259f131a2c5d2cd3a4c569ad14768bd2b7fe08e79d58",
+		"b3ec4fbe6b2a5ae68124a73bb0c8c387179bfa3f798d05354baea8dd0f26604f",
 	},
 	{
 		Spec{App: "sample", Procs: 64, Scale: 1.0 / 256, Seed: 2, Knob: core.KnobL, Value: 100,
 			Coll: splitc.Collectives{Barrier: "flat", Broadcast: "chain", AllReduce: "recdouble"}},
-		"cb4e67ab96557bb84af449698f4cf03408cc4bdd1df0a7e6fa2fed06d28564ab",
+		"8d3e575f039f28e0b855dc99b5236c940482e8dee8a87fd2da3a603a8c275907",
 	},
 }
 
@@ -77,6 +77,8 @@ func TestSpecHashDistinguishesFields(t *testing.T) {
 			Fault: FaultSpec{DropProb: 0.001, Reliable: true}},
 		{App: "radix", Procs: 32, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobO, Value: 25,
 			Coll: splitc.Collectives{Barrier: "tree"}},
+		{App: "radix", Procs: 32, Scale: 1.0 / 256, Seed: 1, Knob: core.KnobO, Value: 25,
+			Depgraph: true},
 	}
 	seen := map[string]Spec{base.Hash(): base}
 	for _, v := range variants {
@@ -97,7 +99,7 @@ func TestSpecHashCoversEveryField(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		{reflect.TypeOf(Spec{}), 11},
+		{reflect.TypeOf(Spec{}), 12},
 		{reflect.TypeOf(FaultSpec{}), 6},
 		{reflect.TypeOf(splitc.Collectives{}), 3},
 	} {

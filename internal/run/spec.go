@@ -54,6 +54,13 @@ type Spec struct {
 	// cache — separately: the selection changes the schedule, so it
 	// changes the result.
 	Coll splitc.Collectives
+	// Depgraph attaches the communication-DAG builder and fills
+	// Result.Curves with the analytic makespan curves. Extraction is
+	// observation-only (identical virtual times), but instrumented runs
+	// key separately, exactly like Profile: the distinction keeps Result
+	// reuse explicit. Incompatible with a faulted wire (Config rejects
+	// the combination).
+	Depgraph bool
 }
 
 // Baseline builds the canonical baseline Spec for an application
@@ -87,6 +94,7 @@ func (s Spec) BaselineSpec(verify bool) Spec {
 	b := Baseline(s.App, s.Procs, s.Scale, s.Seed, verify)
 	b.Profile = s.Profile
 	b.Coll = s.Coll
+	b.Depgraph = s.Depgraph
 	return b
 }
 
@@ -102,6 +110,7 @@ func (s Spec) Config(params logp.Params) apps.Config {
 		CPUSpeedup:  s.CPUSpeedup,
 		Profile:     s.Profile,
 		Collectives: s.Coll,
+		Depgraph:    s.Depgraph,
 	}
 }
 
@@ -113,6 +122,9 @@ func (s Spec) String() string {
 	}
 	if s.Profile {
 		suffix += " +prof"
+	}
+	if s.Depgraph {
+		suffix += " +graph"
 	}
 	if !s.Coll.IsZero() {
 		suffix += " " + s.Coll.String()

@@ -345,6 +345,126 @@ func TestServiceSweepSSE(t *testing.T) {
 	}
 }
 
+// TestServiceToleranceEndpoint exercises /v1/tolerance: one cold
+// instrumented run yields the full analytic curves and per-axis
+// tolerance figures, and a second request serves them from the
+// persistent store without simulating anything.
+func TestServiceToleranceEndpoint(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	req := ToleranceRequest{App: "radix", Procs: 4, Scale: 1.0 / 4096, Seed: 1}
+	cold, err := c.Tolerance(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Source != SourceComputed || cold.Cached {
+		t.Fatalf("cold source = %q cached=%v, want computed", cold.Source, cold.Cached)
+	}
+	if cold.DepgraphError != "" {
+		t.Fatalf("depgraph error: %s", cold.DepgraphError)
+	}
+	if cold.Curves == nil {
+		t.Fatal("no curves in response")
+	}
+	if got := int64(cold.Curves.Elapsed); got != cold.ElapsedNs {
+		t.Fatalf("curves elapsed %d != run elapsed %d", got, cold.ElapsedNs)
+	}
+	for _, axis := range []string{"o", "g", "L"} {
+		cv, ok := cold.Curves.ByAxis(axis)
+		if !ok || len(cv.Segs) == 0 {
+			t.Fatalf("axis %s curve missing", axis)
+		}
+		if int64(cv.Base()) != cold.ElapsedNs {
+			t.Fatalf("axis %s base %v != elapsed %d", axis, cv.Base(), cold.ElapsedNs)
+		}
+	}
+	if len(cold.Tolerances) != 3 {
+		t.Fatalf("tolerances = %+v, want 3 axes", cold.Tolerances)
+	}
+	if !cold.Spec.Depgraph {
+		t.Fatal("response spec lost the depgraph bit")
+	}
+
+	warm, err := c.Tolerance(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Source != SourceDisk || !warm.Cached {
+		t.Fatalf("warm source = %q, want disk", warm.Source)
+	}
+	if warm.Hash != cold.Hash || warm.ElapsedNs != cold.ElapsedNs {
+		t.Fatalf("warm answer differs: %+v vs %+v", warm, cold)
+	}
+	wj, _ := json.Marshal(warm.Curves)
+	cj, _ := json.Marshal(cold.Curves)
+	if !bytes.Equal(wj, cj) {
+		t.Fatal("warm curves not identical to cold")
+	}
+}
+
+// TestServiceAnalyticSweep pins the sweep fast path: with analytic set,
+// a whole value matrix resolves from one instrumented run — every point
+// reports Source "analytic" and the instrumented run's hash, and the
+// prediction at delta zero is exactly the measured baseline.
+func TestServiceAnalyticSweep(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	req := SweepRequest{
+		App: "radix", Procs: 4, Scale: 1.0 / 4096, Seed: 1,
+		Knob: "o", Values: []float64{0, 5, 25}, Analytic: true,
+	}
+	cold, err := c.Sweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cache.Total != 1 || cold.Cache.Computed != 1 {
+		t.Fatalf("cold cache counts = %+v, want one computed run", cold.Cache)
+	}
+	if len(cold.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(cold.Points))
+	}
+	for i, p := range cold.Points {
+		if p.Source != SourceAnalytic {
+			t.Fatalf("point %d source = %q, want analytic", i, p.Source)
+		}
+		if p.Hash != cold.BaseHash {
+			t.Fatalf("point %d hash %q != instrumented hash %q", i, p.Hash, cold.BaseHash)
+		}
+	}
+	if cold.Points[0].ElapsedNs != cold.Baseline.ElapsedNs || cold.Points[0].Slowdown != 1 {
+		t.Fatalf("prediction at delta 0 = %+v, want the baseline %+v", cold.Points[0], cold.Baseline)
+	}
+	if cold.Points[2].ElapsedNs < cold.Points[1].ElapsedNs {
+		t.Fatalf("predictions not monotone: %+v", cold.Points)
+	}
+
+	// Warm pass: zero simulations.
+	warm, err := c.Sweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.DiskHits != 1 || warm.Cache.Computed != 0 {
+		t.Fatalf("warm cache counts = %+v, want one disk hit", warm.Cache)
+	}
+	for i := range warm.Points {
+		if warm.Points[i] != cold.Points[i] {
+			t.Fatalf("warm point %d differs: %+v vs %+v", i, warm.Points[i], cold.Points[i])
+		}
+	}
+
+	// The bulk-bandwidth knob has no analytic curve.
+	_, err = c.Sweep(ctx, SweepRequest{
+		App: "radix", Procs: 4, Scale: 1.0 / 4096, Seed: 1,
+		Knob: "bw", Values: []float64{10}, Analytic: true,
+	})
+	se, ok := err.(*StatusError)
+	if !ok || se.Code != http.StatusBadRequest {
+		t.Fatalf("analytic bw sweep err = %v, want 400", err)
+	}
+}
+
 // TestServiceBadRequests pins the error contract for malformed input.
 func TestServiceBadRequests(t *testing.T) {
 	_, c := newTestServer(t, Config{Workers: 1})

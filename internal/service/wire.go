@@ -8,6 +8,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/run"
 	"repro/internal/splitc"
+	"repro/internal/tolerance"
 )
 
 // Wire forms of the run-plan engine's types: lowercase, knob-by-name
@@ -27,6 +28,7 @@ type SpecJSON struct {
 	Verify     bool       `json:"verify,omitempty"`
 	CPUSpeedup float64    `json:"cpu_speedup,omitempty"`
 	Profile    bool       `json:"profile,omitempty"`
+	Depgraph   bool       `json:"depgraph,omitempty"`
 	Fault      *FaultJSON `json:"fault,omitempty"`
 	Coll       *CollJSON  `json:"coll,omitempty"`
 }
@@ -66,7 +68,7 @@ func (w SpecJSON) Spec() (run.Spec, error) {
 	s := run.Spec{
 		App: w.App, Procs: w.Procs, Scale: w.Scale, Seed: w.Seed,
 		Knob: k, Value: w.Value, Verify: w.Verify,
-		CPUSpeedup: w.CPUSpeedup, Profile: w.Profile,
+		CPUSpeedup: w.CPUSpeedup, Profile: w.Profile, Depgraph: w.Depgraph,
 	}
 	if f := w.Fault; f != nil {
 		s.Fault = run.FaultSpec{
@@ -100,7 +102,7 @@ func SpecToJSON(s run.Spec) SpecJSON {
 	w := SpecJSON{
 		App: s.App, Procs: s.Procs, Scale: s.Scale, Seed: s.Seed,
 		Knob: KnobName(s.Knob), Value: s.Value, Verify: s.Verify,
-		CPUSpeedup: s.CPUSpeedup, Profile: s.Profile,
+		CPUSpeedup: s.CPUSpeedup, Profile: s.Profile, Depgraph: s.Depgraph,
 	}
 	if s.Fault != (run.FaultSpec{}) {
 		w.Fault = &FaultJSON{
@@ -131,6 +133,7 @@ const (
 	SourceDisk      = "disk"      // served from the persistent store
 	SourceComputed  = "computed"  // executed on the shared worker pool
 	SourceCoalesced = "coalesced" // joined an identical in-flight run
+	SourceAnalytic  = "analytic"  // evaluated from cached tolerance curves
 )
 
 // RunRequest asks for one spec. Minimal omits the full result payload
@@ -154,7 +157,12 @@ type RunResponse struct {
 }
 
 // SweepRequest asks for one app × knob × values matrix (the paper's
-// fig5–fig8 shape). The baseline run is implied.
+// fig5–fig8 shape). The baseline run is implied. Analytic answers the
+// whole matrix from a single instrumented baseline run instead of N
+// simulations: the points are evaluated from the run's parametric
+// makespan curves (internal/tolerance) and report Source "analytic".
+// Only the o, g, and L knobs have curves; an analytic bw sweep is a
+// bad request.
 type SweepRequest struct {
 	App        string    `json:"app"`
 	Procs      int       `json:"procs"`
@@ -165,6 +173,7 @@ type SweepRequest struct {
 	Verify     bool      `json:"verify,omitempty"`
 	CPUSpeedup float64   `json:"cpu_speedup,omitempty"`
 	Coll       *CollJSON `json:"coll,omitempty"`
+	Analytic   bool      `json:"analytic,omitempty"`
 }
 
 // SweepPoint is one resolved design point of a sweep.
@@ -182,6 +191,49 @@ type SweepResponse struct {
 	BaseHash string       `json:"baseline_hash"`
 	Points   []SweepPoint `json:"points"`
 	Cache    CacheCounts  `json:"cache"`
+}
+
+// ToleranceRequest asks for an application's analytic sensitivity
+// curves: one instrumented baseline run (content-addressed in the
+// persistent store like any result, with the depgraph bit in its key)
+// yields the full T(Δo), T(ΔL), T(Δg) makespan curves and per-axis
+// tolerance figures without any sweep simulations.
+type ToleranceRequest struct {
+	App        string    `json:"app"`
+	Procs      int       `json:"procs"`
+	Scale      float64   `json:"scale"`
+	Seed       int64     `json:"seed"`
+	Verify     bool      `json:"verify,omitempty"`
+	CPUSpeedup float64   `json:"cpu_speedup,omitempty"`
+	Coll       *CollJSON `json:"coll,omitempty"`
+	// Factor is the slowdown threshold behind the tolerance figures
+	// (0 means tolerance.DefaultFactor). Must be ≥ 1.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// AxisToleranceJSON is one axis's tolerance figure: the largest delta
+// whose predicted slowdown stays within the requested factor. Bounded
+// is false when every delta in the analysis domain fits.
+type AxisToleranceJSON struct {
+	Axis       string  `json:"axis"`
+	MaxDeltaUs float64 `json:"max_delta_us"`
+	Bounded    bool    `json:"bounded"`
+}
+
+// ToleranceResponse reports the analytic curves of one instrumented
+// run. When the run did something outside the model's validity region
+// the curves are absent and DepgraphError says why.
+type ToleranceResponse struct {
+	Spec          SpecJSON            `json:"spec"`
+	Hash          string              `json:"hash"`
+	Source        string              `json:"source"`
+	Cached        bool                `json:"cached"`
+	WallUs        int64               `json:"wall_us"`
+	ElapsedNs     int64               `json:"elapsed_ns"`
+	Factor        float64             `json:"factor"`
+	Curves        *tolerance.Curves   `json:"curves,omitempty"`
+	Tolerances    []AxisToleranceJSON `json:"tolerances,omitempty"`
+	DepgraphError string              `json:"depgraph_error,omitempty"`
 }
 
 // ExperimentRequest asks for one rendered paper artifact.

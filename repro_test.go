@@ -64,8 +64,8 @@ func TestPublicSuite(t *testing.T) {
 }
 
 func TestPublicExperiment(t *testing.T) {
-	if got := len(repro.Experiments()); got != 20 {
-		t.Errorf("%d experiments, want 20", got)
+	if got := len(repro.Experiments()); got != 21 {
+		t.Errorf("%d experiments, want 21", got)
 	}
 	tab, err := repro.RunExperiment("table1", repro.Options{Quick: true})
 	if err != nil {
